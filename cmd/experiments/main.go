@@ -1,0 +1,54 @@
+// Command experiments re-runs every experiment of the reproduction
+// (E1..E12 of DESIGN.md) and prints a paper-claim vs. measured table.
+//
+// Usage:
+//
+//	experiments [-only E9]
+//
+// The process exits non-zero if any experiment's observation contradicts the
+// paper's claim.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mpcn/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "run only experiments whose id contains this substring (e.g. E9)")
+	flag.Parse()
+
+	rows := experiments.All()
+	if *only != "" {
+		filtered := rows[:0]
+		for _, r := range rows {
+			if strings.Contains(r.Experiment, *only) {
+				filtered = append(filtered, r)
+			}
+		}
+		rows = filtered
+	}
+	if len(rows) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches %q\n", *only)
+		return 2
+	}
+
+	fmt.Println("The Multiplicative Power of Consensus Numbers (Imbs & Raynal 2010)")
+	fmt.Println("reproduction experiments: paper claim vs. measured")
+	fmt.Println()
+	fmt.Print(experiments.Table(rows))
+	if !experiments.Passed(rows) {
+		fmt.Fprintln(os.Stderr, "experiments: FAILURES above")
+		return 1
+	}
+	fmt.Printf("\nall %d rows consistent with the paper\n", len(rows))
+	return 0
+}

@@ -1,0 +1,232 @@
+// Command simrun executes one simulation scenario with full control over
+// models, adversary seed, crashes and tracing — the interactive entry point
+// for exploring the paper's reductions.
+//
+// Usage:
+//
+//	simrun -sim forward -n 4 -t1 3 -x1 2 -t2 1 [-seed 7] [-trace 40]
+//	simrun -sim reverse -n 5 -t1 1 -t2 3 -x2 2
+//	simrun -sim colored -n 7 -t1 3 -n2 5 -t2 2 -x2 2
+//	simrun -sim bg      -n 6 -t1 2
+//	simrun -sim direct  -n 5 -t1 2 -x1 3 -task consensus
+//
+// Simulations pick a canonical source algorithm per task: grouped k-set for
+// models with x > 1, snapshot k-set for read/write models, consensus via an
+// x-ported object, or wait-free renaming (colored).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/bg"
+	"mpcn/internal/core"
+	"mpcn/internal/model"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+type options struct {
+	sim   string
+	task  string
+	n     int
+	t1    int
+	x1    int
+	n2    int
+	t2    int
+	x2    int
+	seed  int64
+	trace int
+	steps int
+}
+
+func run() int {
+	var o options
+	flag.StringVar(&o.sim, "sim", "forward", "simulation: direct|bg|forward|reverse|colored|genbg")
+	flag.StringVar(&o.task, "task", "kset", "task: kset|consensus|renaming")
+	flag.IntVar(&o.n, "n", 4, "simulated processes n")
+	flag.IntVar(&o.t1, "t1", 3, "source failure bound")
+	flag.IntVar(&o.x1, "x1", 2, "source consensus number")
+	flag.IntVar(&o.n2, "n2", 0, "target processes (colored; default n)")
+	flag.IntVar(&o.t2, "t2", 1, "target failure bound")
+	flag.IntVar(&o.x2, "x2", 1, "target consensus number")
+	flag.Int64Var(&o.seed, "seed", 1, "adversary seed")
+	flag.IntVar(&o.trace, "trace", 0, "print the first N scheduled steps")
+	flag.IntVar(&o.steps, "steps", 0, "step budget (0 = default)")
+	flag.Parse()
+
+	if err := execute(o); err != nil {
+		fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func execute(o options) error {
+	inputs := tasks.DistinctInputs(o.n)
+	schedCfg := sched.Config{Seed: o.seed, TraceCapacity: o.trace, MaxSteps: o.steps}
+
+	var (
+		r    *bg.Result
+		err  error
+		task tasks.Task
+	)
+	switch o.sim {
+	case "direct":
+		alg, tk, aerr := pickAlg(o.task, o.t1, o.x1, o.n)
+		if aerr != nil {
+			return aerr
+		}
+		task = tk
+		res, derr := algorithms.Direct(alg, inputs, o.x1, schedCfg)
+		if derr != nil {
+			return derr
+		}
+		return reportDirect(task, inputs, res, o)
+	case "bg":
+		alg := algorithms.SnapshotKSet{T: o.t1}
+		task = tasks.KSet{K: o.t1 + 1}
+		r, err = bg.Simulate(alg, inputs, o.t1, schedCfg)
+	case "forward":
+		src, merr := model.New(o.n, o.t1, o.x1)
+		if merr != nil {
+			return merr
+		}
+		dst, merr := model.New(o.n, o.t2, 1)
+		if merr != nil {
+			return merr
+		}
+		k := src.Level() + 1
+		task = tasks.KSet{K: k}
+		r, err = core.ForwardSim(algorithms.GroupedKSet{K: k, X: o.x1}, inputs, src, dst, schedCfg)
+	case "reverse":
+		src, merr := model.New(o.n, o.t1, 1)
+		if merr != nil {
+			return merr
+		}
+		dst, merr := model.New(o.n, o.t2, o.x2)
+		if merr != nil {
+			return merr
+		}
+		task = tasks.KSet{K: o.t1 + 1}
+		r, err = core.ReverseSim(algorithms.SnapshotKSet{T: o.t1}, inputs, src, dst, schedCfg)
+	case "colored":
+		n2 := o.n2
+		if n2 == 0 {
+			n2 = o.n
+		}
+		src, merr := model.New(o.n, o.t1, o.x1)
+		if merr != nil {
+			return merr
+		}
+		dst, merr := model.New(n2, o.t2, o.x2)
+		if merr != nil {
+			return merr
+		}
+		task = tasks.Renaming{M: 2*o.n - 1}
+		r, err = core.ColoredSim(algorithms.Renaming{}, inputs, src, dst, schedCfg)
+	case "genbg":
+		src, merr := model.New(o.n, o.t1, o.x1)
+		if merr != nil {
+			return merr
+		}
+		k := src.Level() + 1
+		task = tasks.KSet{K: k}
+		var alg algorithms.Algorithm = algorithms.SnapshotKSet{T: o.t1}
+		if o.x1 > 1 {
+			alg = algorithms.GroupedKSet{K: k, X: o.x1}
+		}
+		r, err = core.GeneralizedBG(alg, inputs, src, schedCfg)
+	default:
+		return fmt.Errorf("unknown -sim %q", o.sim)
+	}
+	if err != nil {
+		return err
+	}
+	return reportSim(task, inputs, r, o)
+}
+
+func pickAlg(task string, t, x, n int) (algorithms.Algorithm, tasks.Task, error) {
+	switch task {
+	case "kset":
+		if x > 1 {
+			k := t/x + 1
+			return algorithms.GroupedKSet{K: k, X: x}, tasks.KSet{K: k}, nil
+		}
+		return algorithms.SnapshotKSet{T: t}, tasks.KSet{K: t + 1}, nil
+	case "consensus":
+		return algorithms.ConsensusViaXCons{X: x}, tasks.Consensus{}, nil
+	case "renaming":
+		return algorithms.Renaming{}, tasks.Renaming{M: 2*n - 1}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown -task %q", task)
+	}
+}
+
+func reportDirect(task tasks.Task, inputs []any, res *sched.Result, o options) error {
+	fmt.Printf("direct run of %s: %d processes, %d steps, %d crashes\n",
+		task.Name(), len(res.Outcomes), res.Steps, res.Crashes)
+	printOutcomes(res)
+	printTrace(res, o.trace)
+	outputs := make([]any, len(res.Outcomes))
+	for i, oc := range res.Outcomes {
+		if oc.Decided {
+			outputs[i] = oc.Value
+		}
+	}
+	if err := task.Validate(inputs, outputs); err != nil {
+		return err
+	}
+	fmt.Printf("task %s: VALID\n", task.Name())
+	return nil
+}
+
+func reportSim(task tasks.Task, inputs []any, r *bg.Result, o options) error {
+	fmt.Printf("%s simulation of %s: %d simulators, %d steps, %d crashes\n",
+		o.sim, task.Name(), len(r.Sched.Outcomes), r.Sched.Steps, r.Sched.Crashes)
+	printOutcomes(r.Sched)
+	printTrace(r.Sched, o.trace)
+	var err error
+	if task.Kind() == tasks.Colored {
+		err = core.ValidateColored(task, inputs, r)
+	} else {
+		err = core.ValidateColorless(task, inputs, r)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("task %s: VALID\n", task.Name())
+	return nil
+}
+
+func printOutcomes(res *sched.Result) {
+	for i, oc := range res.Outcomes {
+		val := "-"
+		if oc.Decided {
+			val = fmt.Sprintf("%v", oc.Value)
+		}
+		fmt.Printf("  proc %d: %-8s decision=%-6s steps=%d\n", i, oc.Status, val, oc.Steps)
+	}
+	if res.BudgetExhausted {
+		fmt.Println("  (step budget exhausted: run wedged)")
+	}
+}
+
+func printTrace(res *sched.Result, limit int) {
+	if limit <= 0 {
+		return
+	}
+	fmt.Println("schedule prefix:")
+	for i, te := range res.Trace {
+		if i >= limit {
+			break
+		}
+		fmt.Printf("  %4d: q%d %s\n", i, te.Proc, te.Label)
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"testing"
+)
+
+func baseOptions() options {
+	return options{
+		sim:  "forward",
+		task: "kset",
+		n:    4,
+		t1:   3,
+		x1:   2,
+		t2:   1,
+		x2:   1,
+		seed: 1,
+	}
+}
+
+func TestExecuteAllSimulations(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"forward", func(o *options) { o.sim = "forward" }},
+		{"bg", func(o *options) { o.sim = "bg"; o.t1 = 1 }},
+		{"reverse", func(o *options) {
+			o.sim = "reverse"
+			o.n, o.t1, o.t2, o.x2 = 5, 1, 3, 2
+		}},
+		{"colored", func(o *options) {
+			o.sim = "colored"
+			o.n, o.t1, o.x1 = 7, 3, 1
+			o.n2, o.t2, o.x2 = 5, 2, 2
+		}},
+		{"genbg", func(o *options) { o.sim = "genbg"; o.n, o.t1, o.x1 = 6, 3, 2 }},
+		{"direct kset", func(o *options) { o.sim = "direct"; o.n, o.t1, o.x1 = 6, 2, 3 }},
+		{"direct consensus", func(o *options) {
+			o.sim = "direct"
+			o.task = "consensus"
+			o.n, o.t1, o.x1 = 4, 1, 2
+		}},
+		{"direct renaming", func(o *options) {
+			o.sim = "direct"
+			o.task = "renaming"
+			o.n, o.x1 = 4, 1
+		}},
+		{"with trace", func(o *options) { o.trace = 5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mut(&o)
+			if err := execute(o); err != nil {
+				t.Fatalf("execute(%+v): %v", o, err)
+			}
+		})
+	}
+}
+
+func TestExecuteRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"unknown sim", func(o *options) { o.sim = "nope" }},
+		{"unknown task", func(o *options) { o.sim = "direct"; o.task = "nope" }},
+		{"bad model", func(o *options) { o.t1 = 9 }},
+		{"forward hypothesis", func(o *options) { o.t2 = 3 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			tc.mut(&o)
+			if err := execute(o); err == nil {
+				t.Fatalf("execute(%+v) should fail", o)
+			}
+		})
+	}
+}
+
+func TestPickAlg(t *testing.T) {
+	if alg, task, err := pickAlg("kset", 4, 2, 8); err != nil || alg == nil || task == nil {
+		t.Fatalf("kset with x>1: %v", err)
+	}
+	if alg, _, err := pickAlg("kset", 2, 1, 4); err != nil || alg == nil {
+		t.Fatalf("kset with x=1: %v", err)
+	}
+	if _, task, err := pickAlg("renaming", 0, 1, 4); err != nil || task.Name() != "7-renaming" {
+		t.Fatalf("renaming task: %v", err)
+	}
+	if _, _, err := pickAlg("bogus", 0, 1, 4); err == nil {
+		t.Fatal("bogus task accepted")
+	}
+}

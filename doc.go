@@ -1,0 +1,15 @@
+// Package mpcn reproduces "The Multiplicative Power of Consensus Numbers"
+// (Damien Imbs & Michel Raynal, PODC 2010 / IRISA PI 1949): an executable
+// model of asynchronous crash-prone shared memory ASM(n, t, x), the classic
+// Borowsky-Gafni simulation, and the paper's forward (Section 3), reverse
+// (Section 4) and colored (Section 5.5) simulations, establishing that
+// ASM(n1, t1, x1) and ASM(n2, t2, x2) solve the same colorless decision
+// tasks iff ⌊t1/x1⌋ = ⌊t2/x2⌋.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for the
+// paper-claim vs. measured record. The benchmarks in bench_test.go
+// regenerate every figure and table artifact; run them with
+//
+//	go test -bench=. -benchmem .
+package mpcn

@@ -1,0 +1,100 @@
+// boosting demonstrates the failure-detector context of §1.3: registers
+// have consensus number 1 — in ASM(n, n-1, 1) consensus is impossible — yet
+// the same memory enriched with the Ω oracle solves consensus wait-free.
+// The example runs both sides: the register-only attempt wedges under a
+// single ill-placed crash (the FLP/consensus-number boundary), the Ω-based
+// Paxos-style algorithm decides with n-1 processes dead and with the
+// elected leader crashed mid-round.
+//
+// Run with: go run ./examples/boosting
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/detector"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "boosting: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const n = 5
+	inputs := tasks.DistinctInputs(n)
+
+	// Registers only: the 0-resilient consensus algorithm (snapshot k-set
+	// with t=0) wedges as soon as one process is dead.
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0)
+	res, err := algorithms.Direct(algorithms.SnapshotKSet{T: 0}, inputs, 1,
+		sched.Config{Adversary: adv, MaxSteps: 4000})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registers only, 1 crash: decided=%d wedged=%v  (consensus number 1)\n",
+		res.NumDecided(), res.BudgetExhausted)
+
+	// Registers + Ω: wait-free despite n-1 initial deaths.
+	cons := detector.NewOmegaConsensus("oc", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		v := 100 + i
+		bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, v)) }
+	}
+	advAll := sched.NewCrashSet(sched.NewRandom(1), 0, 1, 2, 3)
+	resOmega, err := sched.Run(sched.Config{Adversary: advAll}, bodies)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registers + Ω, %d crashes: survivor decided %v (wedged=%v)\n",
+		n-1, resOmega.Outcomes[4].Value, resOmega.BudgetExhausted)
+
+	// Registers + Ω with the leader killed mid-round: the next leader takes
+	// over and agreement is preserved.
+	cons2 := detector.NewOmegaConsensus("oc", n)
+	bodies2 := make([]sched.Proc, n)
+	for i := range bodies2 {
+		v := 200 + i
+		bodies2[i] = func(e *sched.Env) { e.Decide(cons2.Propose(e, v)) }
+	}
+	advLeader := sched.NewPlan(sched.NewRandom(7)).CrashOnLabel(0, "oc.mem[0].update", 2)
+	res2, err := sched.Run(sched.Config{Adversary: advLeader}, bodies2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registers + Ω, leader crashed mid-round: %d survivors agreed on %v\n",
+		res2.NumDecided(), res2.DecidedValues()[0])
+
+	// Ωx + x-consensus: the Guerraoui-Kuznetsov boost iterated to n. The
+	// oracle window stabilizes to {1,2,3} whose minimum is dead — only the
+	// surviving member can drive the per-round x-consensus funnel.
+	const x = 3
+	cons3 := detector.NewBoostedConsensus("bc", n, x)
+	bodies3 := make([]sched.Proc, n)
+	for i := range bodies3 {
+		v := 300 + i
+		bodies3[i] = func(e *sched.Env) { e.Decide(cons3.Propose(e, v)) }
+	}
+	advWin := sched.NewPlan(sched.NewRandom(5)).
+		CrashAfterProcSteps(0, 8).
+		CrashAfterProcSteps(1, 14).
+		CrashAfterProcSteps(2, 20)
+	res3, err := sched.Run(sched.Config{Adversary: advWin}, bodies3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("x-consensus (x=%d) + Ωx, dead-minimum window: %d survivors agreed on %v\n",
+		x, res3.NumDecided(), res3.DecidedValues()[0])
+
+	fmt.Println("\nΩ is the weakest detector for this boost (Chandra-Hadzilacos-Toueg);")
+	fmt.Println("Guerraoui-Kuznetsov generalize it to Ωx boosting consensus number x to x+1 (§1.3) —")
+	fmt.Println("iterating their boost (Ωx derives Ωy for y >= x) climbs to n, as run above.")
+	return nil
+}

@@ -1,0 +1,83 @@
+// equivalence demonstrates Section 5: the §5.4 equivalence-class table and
+// the Figure 7 chain of simulations, run end to end on 3-set agreement.
+//
+// Run with: go run ./examples/equivalence
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/core"
+	"mpcn/internal/model"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "equivalence: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Part 1: the §5.4 partition for t' = 8.
+	const n = 10
+	classes, err := model.Classes(n, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("§5.4: equivalence classes of ASM(%d, 8, x):\n", n)
+	for _, c := range classes {
+		fmt.Printf("  x in %v  ->  level %d, canonical %v\n", c.Xs, c.Level, c.Canonical)
+	}
+
+	// Part 2: Figure 7. ASM(6,5,2) and ASM(6,2,1) share level 2, so any
+	// colorless task solvable in one is solvable in the other; the chain
+	// below exercises all three simulations on 3-set agreement.
+	m1 := model.ASM{N: 6, T: 5, X: 2}
+	canon := m1.Canonical()
+	fmt.Printf("\nFigure 7 chain: %v ≃ %v ≃ ASM(3,2,1)  (Equivalent: %v)\n",
+		m1, canon, model.Equivalent(m1, canon))
+
+	inputs := tasks.DistinctInputs(6)
+	task := tasks.KSet{K: 3}
+
+	r1, err := core.ForwardSim(algorithms.GroupedKSet{K: 3, X: 2}, inputs, m1, canon,
+		sched.Config{Seed: 1})
+	if err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	if err := core.ValidateColorless(task, inputs, r1); err != nil {
+		return fmt.Errorf("forward: %w", err)
+	}
+	fmt.Printf("  §3 forward : %v algorithm ran in %v    (%d simulators decided, %d steps)\n",
+		m1, canon, r1.Sched.NumDecided(), r1.Sched.Steps)
+
+	r2, err := core.GeneralizedBG(algorithms.SnapshotKSet{T: 2}, inputs, canon,
+		sched.Config{Seed: 2})
+	if err != nil {
+		return fmt.Errorf("bg: %w", err)
+	}
+	if err := core.ValidateColorless(task, inputs, r2); err != nil {
+		return fmt.Errorf("bg: %w", err)
+	}
+	fmt.Printf("  BG         : %v algorithm ran in ASM(3,2,1) (%d simulators decided, %d steps)\n",
+		canon, r2.Sched.NumDecided(), r2.Sched.Steps)
+
+	r3, err := core.ReverseSim(algorithms.SnapshotKSet{T: 2}, inputs, canon, m1,
+		sched.Config{Seed: 3})
+	if err != nil {
+		return fmt.Errorf("reverse: %w", err)
+	}
+	if err := core.ValidateColorless(task, inputs, r3); err != nil {
+		return fmt.Errorf("reverse: %w", err)
+	}
+	fmt.Printf("  §4 reverse : %v algorithm ran in %v    (%d simulators decided, %d steps)\n",
+		canon, m1, r3.Sched.NumDecided(), r3.Sched.Steps)
+
+	fmt.Println("\nall stages solved 3-set agreement: the chain certifies the equivalence")
+	return nil
+}

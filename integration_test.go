@@ -1,0 +1,168 @@
+// Integration tests exercising the full stack at larger scale than the
+// per-package unit tests. Run with -short to skip them.
+package mpcn
+
+import (
+	"fmt"
+	"testing"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/bg"
+	"mpcn/internal/core"
+	"mpcn/internal/detector"
+	"mpcn/internal/model"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func TestIntegrationLargeBG(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// 12 simulated processes, 3-resilient 4-set agreement on 4 simulators,
+	// with all 3 tolerated crashes placed inside safe_agreement proposes.
+	const n, tRes = 12, 3
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewPlan(sched.NewRandom(1)).
+		CrashOnLabel(0, "SAFE_AG[0,1].SM.scan", 1).
+		CrashOnLabel(1, "SAFE_AG[3,1].SM.scan", 1).
+		CrashOnLabel(2, "SAFE_AG[6,1].SM.scan", 1)
+	r, err := bg.Simulate(algorithms.SnapshotKSet{T: tRes}, inputs, tRes,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("large BG run wedged")
+	}
+	if r.Sched.Outcomes[3].Status != sched.StatusDecided {
+		t.Fatalf("correct simulator: %+v", r.Sched.Outcomes[3])
+	}
+	if err := core.ValidateColorless(tasks.KSet{K: tRes + 1}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationLargeReverse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// n = 8 simulators in ASM(8, 5, 3): ⌊5/3⌋ = 1, so the 1-resilient 2-set
+	// algorithm runs with 5 crashes spread across the run. C(8,3) = 56
+	// subsets per x_safe_agreement instance.
+	src := model.ASM{N: 8, T: 1, X: 1}
+	dst := model.ASM{N: 8, T: 5, X: 3}
+	inputs := tasks.DistinctInputs(8)
+	adv := sched.NewPlan(sched.NewRandom(7))
+	for v := 0; v < 5; v++ {
+		adv.CrashAfterProcSteps(sched.ProcID(v), 30*(v+1))
+	}
+	r, err := core.ReverseSim(algorithms.SnapshotKSet{T: 1}, inputs, src, dst,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("large reverse run wedged")
+	}
+	for i := 5; i < 8; i++ {
+		if r.Sched.Outcomes[i].Status != sched.StatusDecided {
+			t.Fatalf("correct simulator %d: %+v", i, r.Sched.Outcomes[i])
+		}
+	}
+	if err := core.ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntegrationFrontierManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// The E9 frontier, re-run across 10 seeds per cell.
+	const n = 6
+	inputs := tasks.DistinctInputs(n)
+	for _, x := range []int{1, 2, 3} {
+		for tPrime := 1; tPrime <= 4; tPrime++ {
+			dst := model.ASM{N: n, T: tPrime, X: x}
+			k := dst.Level() + 1
+			src := model.ASM{N: n, T: k - 1, X: 1}
+			for seed := int64(0); seed < 10; seed++ {
+				adv := sched.NewPlan(sched.NewRandom(seed))
+				for v := 0; v < tPrime; v++ {
+					adv.CrashAfterProcSteps(sched.ProcID(v), 10*(v+1)+int(seed))
+				}
+				r, err := core.ReverseSim(algorithms.SnapshotKSet{T: k - 1}, inputs, src, dst,
+					sched.Config{Adversary: adv})
+				if err != nil {
+					t.Fatalf("x=%d t'=%d seed=%d: %v", x, tPrime, seed, err)
+				}
+				if r.Sched.BudgetExhausted {
+					t.Fatalf("x=%d t'=%d seed=%d: wedged", x, tPrime, seed)
+				}
+				if err := core.ValidateColorless(tasks.KSet{K: k}, inputs, r); err != nil {
+					t.Fatalf("x=%d t'=%d seed=%d: %v", x, tPrime, seed, err)
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationColoredLarger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// 9 simulated renaming processes on 6 simulators in ASM(6, 2, 2):
+	// conditions: 3 >= 1 and 9 >= max(6, 6-2+5) = 9 with src t = 5.
+	src := model.ASM{N: 9, T: 5, X: 1}
+	dst := model.ASM{N: 6, T: 2, X: 2}
+	inputs := tasks.DistinctInputs(9)
+	for seed := int64(0); seed < 4; seed++ {
+		adv := sched.NewPlan(sched.NewRandom(seed)).
+			CrashAfterProcSteps(0, 40).
+			CrashAfterProcSteps(1, 80)
+		r, err := core.ColoredSim(algorithms.Renaming{}, inputs, src, dst,
+			sched.Config{Adversary: adv, MaxSteps: 1 << 22})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Sched.BudgetExhausted {
+			t.Fatalf("seed %d: wedged", seed)
+		}
+		if err := core.ValidateColored(tasks.Renaming{M: 17}, inputs, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestIntegrationBoostedScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Ωx-boosted consensus at n = 10 with x swept, under staggered crashes.
+	const n = 10
+	for _, x := range []int{2, 4, 5} {
+		for seed := int64(0); seed < 4; seed++ {
+			cons := detector.NewBoostedConsensus(fmt.Sprintf("bc%d", x), n, x)
+			bodies := make([]sched.Proc, n)
+			for i := range bodies {
+				v := 100 + i
+				bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, v)) }
+			}
+			adv := sched.NewPlan(sched.NewRandom(seed))
+			for v := 0; v < 4; v++ {
+				adv.CrashAfterProcSteps(sched.ProcID(v), 12*(v+1))
+			}
+			res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 22}, bodies)
+			if err != nil {
+				t.Fatalf("x=%d seed=%d: %v", x, seed, err)
+			}
+			if res.BudgetExhausted {
+				t.Fatalf("x=%d seed=%d: wedged", x, seed)
+			}
+			if res.DistinctDecided() != 1 {
+				t.Fatalf("x=%d seed=%d: disagreement %v", x, seed, res.DecidedValues())
+			}
+		}
+	}
+}

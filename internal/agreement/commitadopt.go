@@ -1,0 +1,109 @@
+package agreement
+
+import (
+	"fmt"
+
+	"mpcn/internal/sched"
+	"mpcn/internal/snapshot"
+)
+
+// CommitAdopt is the commit-adopt object, the classic wait-free weakening of
+// consensus used throughout BG-style reductions (it is the agreement core of
+// safe_agreement: compare Figure 1's level-1/level-2 discipline). Each
+// process proposes once and obtains a (value, committed) pair with:
+//
+//   - Validity: the returned value was proposed.
+//   - Agreement: if any process commits v, every process returns v
+//     (committed or not).
+//   - Convergence: if all proposals are equal, every process commits.
+//   - Termination: wait-free (no crash can block anyone).
+//
+// Unlike safe_agreement it never blocks — the price is that nobody may
+// commit. The implementation is the standard two-phase snapshot protocol.
+type CommitAdopt struct {
+	name  string
+	phase [2]snapshot.Snapshot[caCell]
+	done  map[sched.ProcID]bool
+}
+
+// caCell is one process's entry in a phase memory.
+type caCell struct {
+	set bool
+	v   any
+}
+
+// NewCommitAdopt returns a commit-adopt object for n processes.
+func NewCommitAdopt(name string, n int) *CommitAdopt {
+	if n < 1 {
+		panic(fmt.Sprintf("agreement: CommitAdopt %q needs n >= 1, got %d", name, n))
+	}
+	return &CommitAdopt{
+		name: name,
+		phase: [2]snapshot.Snapshot[caCell]{
+			snapshot.NewPrimitive[caCell](name+".ph1", n),
+			snapshot.NewPrimitive[caCell](name+".ph2", n),
+		},
+		done: make(map[sched.ProcID]bool),
+	}
+}
+
+// Propose proposes v and returns the adopted value and whether it was
+// committed. Each process may propose at most once; v must not be nil.
+func (ca *CommitAdopt) Propose(e *sched.Env, v any) (any, bool) {
+	if v == nil {
+		panic(fmt.Sprintf("agreement: nil proposal to %s", ca.name))
+	}
+	id := e.ID()
+	if ca.done[id] {
+		panic(fmt.Sprintf("agreement: process %d proposed twice to %s", id, ca.name))
+	}
+	ca.done[id] = true
+	me := int(id)
+
+	// Phase 1: publish the proposal; if every visible phase-1 value equals
+	// ours, carry a phase-2 vote for v, else a conflict marker (nil vote).
+	ca.phase[0].Update(e, me, caCell{set: true, v: v})
+	s1 := ca.phase[0].Scan(e)
+	unanimous := true
+	for _, c := range s1 {
+		if c.set && c.v != v {
+			unanimous = false
+			break
+		}
+	}
+	vote := caCell{set: true}
+	if unanimous {
+		vote.v = v
+	}
+
+	// Phase 2: publish the vote. If all visible votes are for the same
+	// non-nil value, commit it; if any vote names a value, adopt it.
+	ca.phase[1].Update(e, me, vote)
+	s2 := ca.phase[1].Scan(e)
+	var named any
+	commit := true
+	for _, c := range s2 {
+		if !c.set {
+			continue
+		}
+		if c.v == nil {
+			commit = false
+			continue
+		}
+		if named == nil {
+			named = c.v
+		} else if named != c.v {
+			// Two different phase-2 values are impossible: a phase-2 vote
+			// for w requires a unanimous phase-1 scan of w, and phase-1
+			// scans are totally ordered.
+			panic(fmt.Sprintf("agreement: %s saw conflicting phase-2 votes %v and %v",
+				ca.name, named, c.v))
+		}
+	}
+	if named == nil {
+		// Nobody voted for a value in our view: adopt our own proposal,
+		// uncommitted.
+		return v, false
+	}
+	return named, commit && named != nil
+}

@@ -1,0 +1,182 @@
+package agreement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+)
+
+// proposeDecideBody proposes v and decides the safe_agreement outcome.
+func proposeDecideBody(sa *SafeAgreement, v any) sched.Proc {
+	return func(e *sched.Env) {
+		sa.Propose(e, v)
+		e.Decide(sa.Decide(e))
+	}
+}
+
+func TestSafeAgreementCrashFree(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		const n = 4
+		sa := NewSafeAgreement("sa", n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			bodies[i] = proposeDecideBody(sa, 100+i)
+		}
+		res, err := sched.Run(sched.Config{Seed: seed}, bodies)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.NumDecided() != n {
+			t.Fatalf("seed %d: decided %d of %d", seed, res.NumDecided(), n)
+		}
+		if res.DistinctDecided() != 1 {
+			t.Fatalf("seed %d: disagreement %v", seed, res.DecidedValues())
+		}
+		v := res.Outcomes[0].Value.(int)
+		if v < 100 || v >= 100+n {
+			t.Fatalf("seed %d: decided %d, not proposed", seed, v)
+		}
+	}
+}
+
+func TestSafeAgreementValiditySingleProposer(t *testing.T) {
+	sa := NewSafeAgreement("sa", 3)
+	bodies := []sched.Proc{
+		proposeDecideBody(sa, "only"),
+		// Non-proposing deciders would block until a stable value appears;
+		// here the sole proposer stabilizes its own value, then they decide.
+		func(e *sched.Env) { e.Decide(sa.Decide(e)) },
+		func(e *sched.Env) { e.Decide(sa.Decide(e)) },
+	}
+	res, err := sched.Run(sched.Config{Seed: 2}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if !o.Decided || o.Value != "only" {
+			t.Fatalf("proc %d outcome %+v", i, o)
+		}
+	}
+}
+
+// TestSafeAgreementBlocksOnMidProposeCrash reproduces the defining weakness
+// of safe_agreement: a simulator crashing between its level-1 write and its
+// level-2 write (i.e. while executing sa_propose) leaves an unstable cell
+// forever, so every decider spins until the step budget runs out.
+func TestSafeAgreementBlocksOnMidProposeCrash(t *testing.T) {
+	const n = 3
+	sa := NewSafeAgreement("sa", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		bodies[i] = proposeDecideBody(sa, 100+i)
+	}
+	// Proc 0 is crashed when it is about to execute its Scan (line 02),
+	// after the level-1 write of line 01.
+	adv := sched.NewPlan(sched.NewRoundRobin()).CrashOnLabel(0, "sa.SM.scan", 1)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 5000}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted {
+		t.Fatal("deciders should have been blocked forever")
+	}
+	if res.NumDecided() != 0 {
+		t.Fatalf("decided %d, want 0 (all blocked)", res.NumDecided())
+	}
+}
+
+// TestSafeAgreementCrashAfterProposeHarmless shows the complementary fact:
+// a crash after sa_propose completed does not block deciders.
+func TestSafeAgreementCrashAfterProposeHarmless(t *testing.T) {
+	const n = 3
+	sa := NewSafeAgreement("sa", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		bodies[i] = proposeDecideBody(sa, 100+i)
+	}
+	// Proc 0 completes Propose (3 snapshot operations = 3 steps) and is then
+	// crashed during its decide loop.
+	adv := sched.NewPlan(sched.NewRoundRobin()).CrashAfterProcSteps(0, 4)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 5000}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("survivors should decide")
+	}
+	for i := 1; i < n; i++ {
+		if !res.Outcomes[i].Decided {
+			t.Fatalf("survivor %d did not decide: %+v", i, res.Outcomes[i])
+		}
+	}
+}
+
+func TestSafeAgreementDoubleProposePanics(t *testing.T) {
+	sa := NewSafeAgreement("sa", 2)
+	bodies := []sched.Proc{func(e *sched.Env) {
+		sa.Propose(e, 1)
+		sa.Propose(e, 2)
+	}}
+	if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+		t.Fatal("double propose must surface as an error")
+	}
+}
+
+func TestSafeAgreementNilProposalPanics(t *testing.T) {
+	sa := NewSafeAgreement("sa", 2)
+	bodies := []sched.Proc{func(e *sched.Env) { sa.Propose(e, nil) }}
+	if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+		t.Fatal("nil proposal must surface as an error")
+	}
+}
+
+func TestSafeAgreementTryDecideBeforeAnyPropose(t *testing.T) {
+	sa := NewSafeAgreement("sa", 2)
+	bodies := []sched.Proc{func(e *sched.Env) {
+		if _, ok := sa.TryDecide(e); ok {
+			panic("TryDecide succeeded with no proposals")
+		}
+		e.Decide(0)
+	}}
+	if _, err := sched.Run(sched.Config{}, bodies); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSafeAgreementSafety checks agreement and validity across random
+// schedules with random crash-after-k-steps failures. Safety must hold no
+// matter when crashes happen; only termination may be lost, so runs that
+// exhaust the budget are accepted as long as every decided value is legal.
+func TestQuickSafeAgreementSafety(t *testing.T) {
+	f := func(seed int64, rawN, crashSteps uint8) bool {
+		n := int(rawN%4) + 2
+		sa := NewSafeAgreement("sa", n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			bodies[i] = proposeDecideBody(sa, 100+i)
+		}
+		adv := sched.NewPlan(sched.NewRandom(seed)).
+			CrashAfterProcSteps(0, int(crashSteps%6)+1)
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 20000}, bodies)
+		if err != nil {
+			return false
+		}
+		if res.DistinctDecided() > 1 {
+			return false
+		}
+		for _, o := range res.Outcomes {
+			if !o.Decided {
+				continue
+			}
+			v, ok := o.Value.(int)
+			if !ok || v < 100 || v >= 100+n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package agreement
+
+// Ablation: §4.3 requires that "all the owners have to scan [SET_LIST] in
+// the very same order". This test demonstrates the requirement is
+// load-bearing by replaying the owners' consensus cascade by hand: with a
+// common order every interleaving converges to one value, while per-owner
+// orders admit an interleaving whose final owner values differ — which
+// would let x_sa_decide return different values to different simulators.
+//
+// The replay needs only the objects' first-proposal-wins semantics, so it
+// models them directly; the scheduler is irrelevant to the value algebra.
+
+import (
+	"testing"
+)
+
+// firstWins models one subset consensus object XCONS[l]: the first proposal
+// is decided, later proposals adopt it.
+type firstWins struct {
+	decided bool
+	v       any
+}
+
+func (f *firstWins) propose(v any) any {
+	if !f.decided {
+		f.decided = true
+		f.v = v
+	}
+	return f.v
+}
+
+// cascadeStep is one owner's propose to one subset object.
+type cascadeStep struct {
+	owner  int
+	object string
+}
+
+// runCascade replays the interleaving and returns each owner's final value.
+// Owners start with value 100+owner and adopt each object's decision,
+// exactly as Figure 6's scan loop does.
+func runCascade(steps []cascadeStep) map[int]any {
+	res := map[int]any{0: 100, 1: 101, 2: 102}
+	objs := map[string]*firstWins{}
+	for _, s := range steps {
+		obj, ok := objs[s.object]
+		if !ok {
+			obj = &firstWins{}
+			objs[s.object] = obj
+		}
+		res[s.owner] = obj.propose(res[s.owner])
+	}
+	return res
+}
+
+func TestScanOrderCommonConverges(t *testing.T) {
+	// All owners scan C012 first (the lexicographically-first subset
+	// containing all of them). Whatever the interleaving, the first C012
+	// proposal fixes the outcome for everyone.
+	steps := []cascadeStep{
+		{1, "C012"}, {2, "C012"}, {2, "C023"}, {2, "C123"},
+		{1, "C013"}, {1, "C123"},
+		{0, "C012"}, {0, "C013"}, {0, "C023"},
+	}
+	final := runCascade(steps)
+	if final[0] != final[1] || final[1] != final[2] {
+		t.Fatalf("common scan order must converge, got %v", final)
+	}
+	if final[0] != 101 {
+		t.Fatalf("first C012 proposal (owner 1) must win, got %v", final[0])
+	}
+}
+
+func TestScanOrderDivergenceWithoutCommonOrder(t *testing.T) {
+	// Owner 0 scans C013 before C012 (violating the common order); owner 1
+	// finishes on C013. Owner 0's early proposal freezes C013 at value 100,
+	// so owner 1 ends with 100 while owner 2 ends with 101: the final
+	// register writes would disagree, breaking the agreement property of
+	// x_safe_agreement.
+	steps := []cascadeStep{
+		{0, "C013"}, // owner 0, out of order: C013 decides 100
+		{1, "C012"}, // C012 decides 101
+		{2, "C012"},
+		{2, "C023"},
+		{2, "C123"}, // owner 2 final: 101
+		{1, "C123"},
+		{1, "C013"}, // owner 1 final: adopts 100
+		{0, "C012"},
+		{0, "C023"}, // owner 0 final: 101
+	}
+	final := runCascade(steps)
+	if final[1] == final[2] {
+		t.Fatalf("expected divergence to demonstrate the ablation, got %v", final)
+	}
+	if final[1] != 100 || final[2] != 101 {
+		t.Fatalf("hand-computed counterexample drifted: %v", final)
+	}
+}
+
+// TestScanOrderCommonConvergesExhaustive: with the common lexicographic
+// order, *every* interleaving of the three owners' scans converges. The
+// test enumerates all interleavings of the per-owner scan sequences.
+func TestScanOrderCommonConvergesExhaustive(t *testing.T) {
+	// Per-owner scan sequences in the common order (subsets containing the
+	// owner, lexicographic): owner 0: C012 C013 C023; owner 1: C012 C013
+	// C123; owner 2: C012 C023 C123.
+	seqs := [][]string{
+		{"C012", "C013", "C023"},
+		{"C012", "C013", "C123"},
+		{"C012", "C023", "C123"},
+	}
+	var rec func(pos [3]int, steps []cascadeStep)
+	count := 0
+	rec = func(pos [3]int, steps []cascadeStep) {
+		done := true
+		for o := 0; o < 3; o++ {
+			if pos[o] < len(seqs[o]) {
+				done = false
+				next := pos
+				next[o]++
+				// Copy before extending: append on the shared backing array
+				// would alias sibling branches.
+				branch := make([]cascadeStep, len(steps), len(steps)+1)
+				copy(branch, steps)
+				branch = append(branch, cascadeStep{owner: o, object: seqs[o][pos[o]]})
+				rec(next, branch)
+			}
+		}
+		if done {
+			count++
+			final := runCascade(steps)
+			if final[0] != final[1] || final[1] != final[2] {
+				t.Fatalf("interleaving %v diverged: %v", steps, final)
+			}
+		}
+	}
+	rec([3]int{}, nil)
+	if count != 1680 { // multinomial 9! / (3! 3! 3!)
+		t.Fatalf("enumerated %d interleavings, want 1680", count)
+	}
+}

@@ -1,0 +1,335 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+// validateRun checks a finished run against a task.
+func validateRun(t *testing.T, task tasks.Task, inputs []any, res *sched.Result) {
+	t.Helper()
+	outputs := make([]any, len(res.Outcomes))
+	for i, o := range res.Outcomes {
+		if o.Decided {
+			outputs[i] = o.Value
+		}
+	}
+	if err := task.Validate(inputs, outputs); err != nil {
+		t.Fatalf("task violated: %v", err)
+	}
+}
+
+func TestSnapshotKSetFailureFree(t *testing.T) {
+	for _, tc := range []struct{ n, T int }{{3, 0}, {4, 1}, {5, 2}, {6, 5}} {
+		inputs := tasks.DistinctInputs(tc.n)
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := Direct(SnapshotKSet{T: tc.T}, inputs, 1, sched.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("n=%d T=%d: %v", tc.n, tc.T, err)
+			}
+			if res.NumDecided() != tc.n {
+				t.Fatalf("n=%d T=%d seed=%d: decided %d", tc.n, tc.T, seed, res.NumDecided())
+			}
+			validateRun(t, tasks.KSet{K: tc.T + 1}, inputs, res)
+		}
+	}
+}
+
+func TestSnapshotKSetWithCrashes(t *testing.T) {
+	// f <= T crashes: all correct processes decide, <= T+1 distinct values.
+	const n, T, f = 5, 2, 2
+	inputs := tasks.DistinctInputs(n)
+	for seed := int64(0); seed < 8; seed++ {
+		adv := sched.NewPlan(sched.NewRandom(seed)).
+			CrashAfterProcSteps(0, int(seed%4)+1).
+			CrashAfterProcSteps(1, int(seed%3)+1)
+		res, err := Direct(SnapshotKSet{T: T}, inputs, 1,
+			sched.Config{Adversary: adv, MaxCrashes: f, MaxSteps: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.BudgetExhausted {
+			t.Fatalf("seed %d: blocked with f <= T", seed)
+		}
+		if res.NumDecided() < n-f {
+			t.Fatalf("seed %d: only %d decided", seed, res.NumDecided())
+		}
+		validateRun(t, tasks.KSet{K: T + 1}, inputs, res)
+	}
+}
+
+func TestSnapshotKSetBlocksBeyondResilience(t *testing.T) {
+	// f = T+1 initially-dead processes: survivors wait for n-T entries that
+	// never appear. This is the t-resilience boundary, not a bug.
+	const n, T = 4, 1
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0, 1)
+	res, err := Direct(SnapshotKSet{T: T}, inputs, 1,
+		sched.Config{Adversary: adv, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted || res.NumDecided() != 0 {
+		t.Fatalf("expected blocked run, got decided=%d exhausted=%v",
+			res.NumDecided(), res.BudgetExhausted)
+	}
+}
+
+func TestSnapshotKSetRequires(t *testing.T) {
+	if _, err := Direct(SnapshotKSet{T: 3}, tasks.DistinctInputs(3), 1, sched.Config{}); err == nil {
+		t.Fatal("T >= n must be rejected")
+	}
+	if _, err := Direct(SnapshotKSet{T: -1}, tasks.DistinctInputs(3), 1, sched.Config{}); err == nil {
+		t.Fatal("negative T must be rejected")
+	}
+	if _, err := Direct(SnapshotKSet{T: 0}, nil, 1, sched.Config{}); err == nil {
+		t.Fatal("empty inputs must be rejected")
+	}
+}
+
+func TestConsensusViaXConsFailureFree(t *testing.T) {
+	for _, tc := range []struct{ n, x int }{{4, 2}, {4, 4}, {5, 3}, {3, 5}} {
+		inputs := tasks.DistinctInputs(tc.n)
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := Direct(ConsensusViaXCons{X: tc.x}, inputs, tc.x, sched.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("n=%d x=%d: %v", tc.n, tc.x, err)
+			}
+			if res.NumDecided() != tc.n {
+				t.Fatalf("n=%d x=%d seed=%d: decided %d", tc.n, tc.x, seed, res.NumDecided())
+			}
+			validateRun(t, tasks.Consensus{}, inputs, res)
+		}
+	}
+}
+
+func TestConsensusViaXConsToleratesXMinusOneCrashes(t *testing.T) {
+	// x = 3 ports, 2 of them crash before proposing: the remaining port and
+	// all spectators still decide (t < x).
+	const n, x = 5, 3
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRandom(4), 0, 1)
+	res, err := Direct(ConsensusViaXCons{X: x}, inputs, x,
+		sched.Config{Adversary: adv, MaxSteps: 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("blocked despite a surviving port")
+	}
+	if res.NumDecided() != n-2 {
+		t.Fatalf("decided %d, want %d", res.NumDecided(), n-2)
+	}
+	validateRun(t, tasks.Consensus{}, inputs, res)
+}
+
+func TestConsensusViaXConsBlocksWhenAllPortsCrash(t *testing.T) {
+	// x = t: all x ports crash, spectators spin forever — the mechanism
+	// behind "consensus cannot be solved in ASM(n, t, t)" (§1.2).
+	const n, x = 5, 2
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0, 1)
+	res, err := Direct(ConsensusViaXCons{X: x}, inputs, x,
+		sched.Config{Adversary: adv, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted || res.NumDecided() != 0 {
+		t.Fatalf("expected blocked run, got decided=%d", res.NumDecided())
+	}
+}
+
+func TestConsensusViaXConsRequires(t *testing.T) {
+	if _, err := Direct(ConsensusViaXCons{X: 3}, tasks.DistinctInputs(4), 2, sched.Config{}); err == nil {
+		t.Fatal("X > model x must be rejected")
+	}
+	if _, err := Direct(ConsensusViaXCons{X: 0}, tasks.DistinctInputs(4), 2, sched.Config{}); err == nil {
+		t.Fatal("X = 0 must be rejected")
+	}
+}
+
+func TestGroupedKSetFailureFree(t *testing.T) {
+	for _, tc := range []struct{ n, k, x int }{{6, 2, 3}, {6, 3, 2}, {7, 2, 3}, {4, 4, 1}} {
+		inputs := tasks.DistinctInputs(tc.n)
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := Direct(GroupedKSet{K: tc.k, X: tc.x}, inputs, tc.x, sched.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("n=%d k=%d x=%d: %v", tc.n, tc.k, tc.x, err)
+			}
+			if res.NumDecided() != tc.n {
+				t.Fatalf("n=%d k=%d x=%d seed=%d: decided %d", tc.n, tc.k, tc.x, seed, res.NumDecided())
+			}
+			validateRun(t, tasks.KSet{K: tc.k}, inputs, res)
+		}
+	}
+}
+
+func TestGroupedKSetSurvivesMaxCrashes(t *testing.T) {
+	// t' = K*X - 1 = 5 crashes concentrated on the groups: group 0 dies
+	// entirely, group 1 loses X-1 members — its survivor still publishes.
+	const n, k, x = 7, 2, 3
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRandom(2), 0, 1, 2, 3, 4)
+	res, err := Direct(GroupedKSet{K: k, X: x}, inputs, x,
+		sched.Config{Adversary: adv, MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("blocked despite one surviving group member")
+	}
+	if res.NumDecided() != n-5 {
+		t.Fatalf("decided %d, want %d", res.NumDecided(), n-5)
+	}
+	validateRun(t, tasks.KSet{K: k}, inputs, res)
+}
+
+func TestGroupedKSetBlocksWhenAllGroupsDie(t *testing.T) {
+	// t' = K*X crashes wipe out every group: spectators block. This is the
+	// other side of the ⌊t'/x⌋ <= K-1 frontier.
+	const n, k, x = 7, 2, 3
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0, 1, 2, 3, 4, 5)
+	res, err := Direct(GroupedKSet{K: k, X: x}, inputs, x,
+		sched.Config{Adversary: adv, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted || res.NumDecided() != 0 {
+		t.Fatalf("expected blocked run, got decided=%d", res.NumDecided())
+	}
+}
+
+func TestGroupedKSetRequires(t *testing.T) {
+	if _, err := Direct(GroupedKSet{K: 2, X: 3}, tasks.DistinctInputs(5), 3, sched.Config{}); err == nil {
+		t.Fatal("n < K*X must be rejected")
+	}
+	if _, err := Direct(GroupedKSet{K: 2, X: 3}, tasks.DistinctInputs(6), 2, sched.Config{}); err == nil {
+		t.Fatal("X > model x must be rejected")
+	}
+}
+
+func TestRenamingFailureFree(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		inputs := tasks.DistinctInputs(n)
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := Direct(Renaming{}, inputs, 1, sched.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			if res.NumDecided() != n {
+				t.Fatalf("n=%d seed=%d: decided %d", n, seed, res.NumDecided())
+			}
+			validateRun(t, tasks.Renaming{M: 2*n - 1}, inputs, res)
+		}
+	}
+}
+
+func TestRenamingWaitFree(t *testing.T) {
+	// n-1 processes crash at assorted points; the survivor must still get a
+	// name (wait-freedom) and the name space bound must hold.
+	const n = 4
+	inputs := tasks.DistinctInputs(n)
+	for seed := int64(0); seed < 6; seed++ {
+		adv := sched.NewPlan(sched.NewRandom(seed)).
+			CrashAfterProcSteps(0, 1).
+			CrashAfterProcSteps(1, 3).
+			CrashAfterProcSteps(2, 5)
+		res, err := Direct(Renaming{}, inputs, 1,
+			sched.Config{Adversary: adv, MaxSteps: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.BudgetExhausted {
+			t.Fatalf("seed %d: renaming not wait-free", seed)
+		}
+		if res.Outcomes[3].Status != sched.StatusDecided {
+			t.Fatalf("seed %d: survivor blocked", seed)
+		}
+		validateRun(t, tasks.Renaming{M: 2*n - 1}, inputs, res)
+	}
+}
+
+// TestQuickRenamingNameSpace: across random schedules, decided names are
+// always distinct and within 1..2n-1.
+func TestQuickRenamingNameSpace(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%5) + 2
+		inputs := tasks.DistinctInputs(n)
+		res, err := Direct(Renaming{}, inputs, 1, sched.Config{Seed: seed})
+		if err != nil || res.NumDecided() != n {
+			return false
+		}
+		outputs := make([]any, n)
+		for i, o := range res.Outcomes {
+			if o.Decided {
+				outputs[i] = o.Value
+			}
+		}
+		return tasks.Renaming{M: 2*n - 1}.Validate(inputs, outputs) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSnapshotKSetAgreementBound: the decided-distinct count never
+// exceeds T+1 under random crash patterns of size <= T.
+func TestQuickSnapshotKSetAgreementBound(t *testing.T) {
+	f := func(seed int64, rawN, rawT uint8) bool {
+		n := int(rawN%4) + 3
+		T := int(rawT) % (n - 1)
+		inputs := tasks.DistinctInputs(n)
+		adv := sched.NewPlan(sched.NewRandom(seed))
+		for v := 0; v < T; v++ {
+			adv.CrashAfterProcSteps(sched.ProcID(v), int(seed%5)+1)
+		}
+		res, err := Direct(SnapshotKSet{T: T}, inputs, 1,
+			sched.Config{Adversary: adv, MaxSteps: 200000})
+		if err != nil || res.BudgetExhausted {
+			return false
+		}
+		return res.DistinctDecided() <= T+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRenamingAdaptive: the snapshot renaming algorithm is adaptive — with
+// only p participants (the rest crashed before taking any step), decided
+// names fit in 1..2p-1, not just 1..2n-1. This is the adaptive-renaming
+// property of the paper's reference [19].
+func TestRenamingAdaptive(t *testing.T) {
+	const n, participants = 6, 2
+	inputs := tasks.DistinctInputs(n)
+	for seed := int64(0); seed < 8; seed++ {
+		victims := make([]sched.ProcID, 0, n-participants)
+		for v := participants; v < n; v++ {
+			victims = append(victims, sched.ProcID(v))
+		}
+		adv := sched.NewCrashSet(sched.NewRandom(seed), victims...)
+		res, err := Direct(Renaming{}, inputs, 1,
+			sched.Config{Adversary: adv, MaxSteps: 100000})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.BudgetExhausted {
+			t.Fatalf("seed %d: wedged", seed)
+		}
+		for i := 0; i < participants; i++ {
+			o := res.Outcomes[i]
+			if !o.Decided {
+				t.Fatalf("seed %d: participant %d undecided", seed, i)
+			}
+			name := o.Value.(int)
+			if name < 1 || name > 2*participants-1 {
+				t.Fatalf("seed %d: name %d outside adaptive bound 1..%d",
+					seed, name, 2*participants-1)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"mpcn/internal/mathx"
+	"mpcn/internal/object"
+	"mpcn/internal/sched"
+	"mpcn/internal/snapshot"
+)
+
+// MLKSetBound returns the k-set agreement bound achievable t-resiliently
+// from (m, ℓ)-set agreement objects:
+//
+//	k = ℓ·⌊(t+1)/m⌋ + min(ℓ, (t+1) mod m)
+//
+// This is the solvability threshold of Herlihy & Rajsbaum cited in §1.3 of
+// the paper ("it is possible to solve the k-set agreement problem when
+// k >= ℓ⌊(t+1)/m⌋ + min(ℓ, (t+1) mod m)").
+func MLKSetBound(t, m, l int) int {
+	if t < 0 || m < 1 || l < 1 || l > m {
+		panic(fmt.Sprintf("algorithms: MLKSetBound(%d, %d, %d) out of domain", t, m, l))
+	}
+	return l*mathx.FloorDiv(t+1, m) + mathx.Min(l, (t+1)%m)
+}
+
+// RunMLKSet solves k-set agreement (k = MLKSetBound(t, m, l)) among
+// len(inputs) processes, tolerating t crashes, using (m, ℓ)-set agreement
+// objects: the first t+1 processes are partitioned into groups of at most m
+// sharing one object each; every group narrows its members' proposals to at
+// most ℓ values which are published in shared memory; everyone decides the
+// minimum published value. At least one of the first t+1 processes is
+// correct, so a value is always published.
+//
+// The decided set is contained in the union of the group outputs:
+// ℓ per full group and min(ℓ, (t+1) mod m) for the remainder group — the
+// Herlihy-Rajsbaum bound.
+func RunMLKSet(inputs []any, t, m, l int, cfg sched.Config) (*sched.Result, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("algorithms: RunMLKSet needs inputs")
+	}
+	if t < 0 || t >= n {
+		return nil, fmt.Errorf("algorithms: RunMLKSet needs 0 <= t < n, got t=%d n=%d", t, n)
+	}
+	if m < 1 || l < 1 || l > m {
+		return nil, fmt.Errorf("algorithms: RunMLKSet needs 1 <= l <= m, got (m=%d, l=%d)", m, l)
+	}
+
+	mem := snapshot.NewPrimitive[any]("mem", n)
+	groups := (t + 1 + m - 1) / m
+	objs := make([]*object.MLSetAgreement, groups)
+	for g := range objs {
+		lo := g * m
+		hi := mathx.Min(lo+m, t+1)
+		ids := make([]sched.ProcID, 0, hi-lo)
+		for p := lo; p < hi; p++ {
+			ids = append(ids, sched.ProcID(p))
+		}
+		objs[g] = object.NewMLSetAgreement(fmt.Sprintf("ml[%d]", g), m, l, ids)
+	}
+
+	bodies := make([]sched.Proc, n)
+	for j := 0; j < n; j++ {
+		j := j
+		bodies[j] = func(e *sched.Env) {
+			if j <= t {
+				v := objs[j/m].Propose(e, inputs[j])
+				mem.Update(e, j, v)
+			}
+			for {
+				s := mem.Scan(e)
+				min, have := 0, false
+				for _, v := range s {
+					if v == nil {
+						continue
+					}
+					iv, ok := v.(int)
+					if !ok {
+						panic(fmt.Sprintf("algorithms: RunMLKSet requires int values, got %T", v))
+					}
+					if !have || iv < min {
+						min, have = iv, true
+					}
+				}
+				if have {
+					e.Decide(min)
+					return
+				}
+			}
+		}
+	}
+	return sched.Run(cfg, bodies)
+}

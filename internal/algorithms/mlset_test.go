@@ -1,0 +1,144 @@
+package algorithms
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func TestMLKSetBound(t *testing.T) {
+	cases := []struct{ t, m, l, want int }{
+		{0, 1, 1, 1}, // consensus from (1,1) objects, failure-free
+		{3, 2, 1, 2}, // 4 procs, pairs with consensus objects: 2-set
+		{3, 2, 2, 4}, // (2,2) objects are trivial: full disagreement
+		{4, 3, 2, 4}, // ⌊5/3⌋=1 full group (2) + remainder min(2,2)=2
+		{5, 3, 2, 4}, // ⌊6/3⌋=2 full groups, no remainder
+		{5, 6, 3, 3}, // one partial group: min(3, 6) = 3
+		{2, 5, 2, 2}, // (t+1) < m: single remainder group min(2,3)=2
+	}
+	for _, c := range cases {
+		if got := MLKSetBound(c.t, c.m, c.l); got != c.want {
+			t.Errorf("MLKSetBound(%d,%d,%d) = %d, want %d", c.t, c.m, c.l, got, c.want)
+		}
+	}
+}
+
+func TestMLKSetBoundPanics(t *testing.T) {
+	for _, c := range []struct{ t, m, l int }{{-1, 1, 1}, {1, 0, 1}, {1, 2, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("MLKSetBound(%d,%d,%d) should panic", c.t, c.m, c.l)
+				}
+			}()
+			MLKSetBound(c.t, c.m, c.l)
+		}()
+	}
+}
+
+func TestRunMLKSetCrashFree(t *testing.T) {
+	for _, tc := range []struct{ n, t, m, l int }{
+		{6, 3, 2, 1}, {6, 3, 2, 2}, {7, 4, 3, 2}, {5, 2, 5, 2},
+	} {
+		k := MLKSetBound(tc.t, tc.m, tc.l)
+		inputs := tasks.DistinctInputs(tc.n)
+		for seed := int64(0); seed < 6; seed++ {
+			res, err := RunMLKSet(inputs, tc.t, tc.m, tc.l, sched.Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%+v: %v", tc, err)
+			}
+			if res.NumDecided() != tc.n {
+				t.Fatalf("%+v seed=%d: decided %d", tc, seed, res.NumDecided())
+			}
+			outputs := make([]any, tc.n)
+			for i, o := range res.Outcomes {
+				if o.Decided {
+					outputs[i] = o.Value
+				}
+			}
+			if err := (tasks.KSet{K: k}).Validate(inputs, outputs); err != nil {
+				t.Fatalf("%+v seed=%d: %v", tc, seed, err)
+			}
+		}
+	}
+}
+
+func TestRunMLKSetToleratesTCrashes(t *testing.T) {
+	// t = 3 of the 4 group members crash before proposing; the survivor in
+	// the second group publishes and everyone decides.
+	const n, tRes, m, l = 6, 3, 2, 1
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRandom(2), 0, 1, 2)
+	res, err := RunMLKSet(inputs, tRes, m, l, sched.Config{Adversary: adv, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("blocked despite a surviving group member")
+	}
+	if res.NumDecided() != n-3 {
+		t.Fatalf("decided %d, want %d", res.NumDecided(), n-3)
+	}
+	if res.DistinctDecided() > MLKSetBound(tRes, m, l) {
+		t.Fatalf("bound violated: %d distinct", res.DistinctDecided())
+	}
+}
+
+func TestRunMLKSetBlocksBeyondResilience(t *testing.T) {
+	// All t+1 potential publishers crash: spectators spin forever.
+	const n, tRes, m, l = 5, 1, 2, 1
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0, 1)
+	res, err := RunMLKSet(inputs, tRes, m, l, sched.Config{Adversary: adv, MaxSteps: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.BudgetExhausted || res.NumDecided() != 0 {
+		t.Fatalf("expected wedged run, decided=%d", res.NumDecided())
+	}
+}
+
+func TestRunMLKSetValidation(t *testing.T) {
+	inputs := tasks.DistinctInputs(4)
+	if _, err := RunMLKSet(nil, 1, 2, 1, sched.Config{}); err == nil {
+		t.Error("empty inputs accepted")
+	}
+	if _, err := RunMLKSet(inputs, 4, 2, 1, sched.Config{}); err == nil {
+		t.Error("t >= n accepted")
+	}
+	if _, err := RunMLKSet(inputs, 1, 1, 2, sched.Config{}); err == nil {
+		t.Error("l > m accepted")
+	}
+}
+
+// TestQuickMLKSetBoundHolds: across random (n, t, m, l, seed) the number of
+// distinct decisions never exceeds the Herlihy-Rajsbaum bound, and with f <=
+// t initially-dead processes the run still terminates.
+func TestQuickMLKSetBoundHolds(t *testing.T) {
+	f := func(seed int64, rawN, rawT, rawM, rawL, rawF uint8) bool {
+		n := int(rawN%5) + 2
+		tRes := int(rawT) % n
+		m := int(rawM%4) + 1
+		l := int(rawL)%m + 1
+		fCount := int(rawF) % (tRes + 1)
+		inputs := tasks.DistinctInputs(n)
+		victims := make([]sched.ProcID, fCount)
+		for i := range victims {
+			victims[i] = sched.ProcID(i)
+		}
+		adv := sched.NewCrashSet(sched.NewRandom(seed), victims...)
+		res, err := RunMLKSet(inputs, tRes, m, l, sched.Config{Adversary: adv, MaxSteps: 1 << 20})
+		if err != nil || res.BudgetExhausted {
+			return false
+		}
+		if res.NumDecided() != n-fCount {
+			return false
+		}
+		return res.DistinctDecided() <= MLKSetBound(tRes, m, l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

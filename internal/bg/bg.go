@@ -1,0 +1,49 @@
+package bg
+
+import (
+	"fmt"
+
+	"mpcn/internal/agreement"
+	"mpcn/internal/algorithms"
+	"mpcn/internal/sched"
+)
+
+// SafeAgreementProvider returns the classic BG agreement provider:
+// safe_agreement objects (Figure 1) over a population of n' simulators.
+func SafeAgreementProvider(simulators int) AgreementProvider {
+	return func(name string) Agreement {
+		return agreement.NewSafeAgreement(name, simulators)
+	}
+}
+
+// XSafeAgreementProvider returns the paper's x_safe_agreement provider
+// (Figure 6) over n' simulators with consensus number x objects.
+func XSafeAgreementProvider(simulators, x int, tas agreement.TASProvider) AgreementProvider {
+	f := agreement.NewXSafeFactory(simulators, x, tas)
+	return func(name string) Agreement {
+		return f.New(name)
+	}
+}
+
+// Simulate runs the classic Borowsky-Gafni simulation: an algorithm designed
+// for the read/write model ASM(n, t, 1) is executed by t+1 simulators in
+// ASM(t+1, t, 1). With at most t simulator crashes, every correct simulator
+// decides (colorless tasks).
+func Simulate(alg algorithms.Algorithm, inputs []any, t int, schedCfg sched.Config) (*Result, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("bg: negative resilience t=%d", t)
+	}
+	simulators := t + 1
+	run, err := New(Config{
+		Alg:          alg,
+		Inputs:       inputs,
+		Simulators:   simulators,
+		SourceX:      1,
+		NewAgreement: SafeAgreementProvider(simulators),
+		Sched:        schedCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Run()
+}

@@ -1,0 +1,136 @@
+package bg
+
+// Quantitative checks of the paper's liveness lemmas, using the engine's
+// RunToCompletion instrumentation: the per-simulator count of simulated
+// processes whose decision the simulator computed.
+
+import (
+	"testing"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+// TestLemma2ForwardCompletion: in the Section 3 simulation with t <= ⌊t'/x⌋
+// simulator crashes, "each correct simulator computes the decision value of
+// at least (n - t') simulated processes" (Lemma 2). Here n=4, t'=3, x=2,
+// t=1: the crashed simulator wedges one simulated object (2 ports); correct
+// simulators must complete at least n - t' = 1 simulated processes — and in
+// fact complete the 2 unaffected ones.
+func TestLemma2ForwardCompletion(t *testing.T) {
+	const n, tPrime, x = 4, 3, 2
+	inputs := tasks.DistinctInputs(n)
+	adv := sched.NewPlan(sched.NewRandom(5)).CrashOnLabel(0, "XSAFE_AG[0].SM.scan", 1)
+	run, err := New(Config{
+		Alg:             algorithms.GroupedKSet{K: 2, X: x},
+		Inputs:          inputs,
+		Simulators:      n,
+		SourceX:         x,
+		NewAgreement:    SafeAgreementProvider(n),
+		RunToCompletion: true,
+		Sched:           sched.Config{Adversary: adv, MaxSteps: 80000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if !r.Sched.Outcomes[i].Decided {
+			t.Errorf("correct simulator %d did not decide", i)
+		}
+		if got := r.Completed[i]; got < n-tPrime {
+			t.Errorf("correct simulator %d completed %d simulated processes, Lemma 2 needs >= %d",
+				i, got, n-tPrime)
+		}
+		// Sharper: exactly the two ports of the wedged object are lost.
+		if got := r.Completed[i]; got != 2 {
+			t.Errorf("correct simulator %d completed %d, want 2 (procs 2,3)", i, got)
+		}
+	}
+}
+
+// TestLemma8ReverseCompletion: in the Section 4 simulation with up to t'
+// simulator crashes and t >= ⌊t'/x⌋, "each correct simulator computes the
+// decision value of at least (n - t) simulated processes" (Lemma 8). Here
+// n=5, t=1, x=2, t'=2: both dynamic owners of one snapshot agreement crash
+// mid-consensus, wedging exactly one simulated process; the three correct
+// simulators complete the other n - t = 4.
+func TestLemma8ReverseCompletion(t *testing.T) {
+	const n, tRes, x = 5, 1, 2
+	inputs := tasks.DistinctInputs(n)
+	// Round-robin scheduling makes the dynamic owner election deterministic:
+	// simulators 0 and 1 win the x_compete cascade of SAFE_AG[0,1] and are
+	// both crashed inside their consensus scan.
+	adv := sched.NewPlan(sched.NewRoundRobin()).
+		CrashOnLabel(0, "SAFE_AG[0,1].XCONS[", 1).
+		CrashOnLabel(1, "SAFE_AG[0,1].XCONS[", 1)
+	run, err := New(Config{
+		Alg:             algorithms.SnapshotKSet{T: tRes},
+		Inputs:          inputs,
+		Simulators:      n,
+		SourceX:         1,
+		NewAgreement:    XSafeAgreementProvider(n, x, nil),
+		RunToCompletion: true,
+		Sched:           sched.Config{Adversary: adv, MaxSteps: 400000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashedOwners := 0
+	for i := 0; i < 2; i++ {
+		if r.Sched.Outcomes[i].Status == sched.StatusCrashed {
+			crashedOwners++
+		}
+	}
+	if crashedOwners != 2 {
+		t.Fatalf("expected both targeted simulators to crash, got %d", crashedOwners)
+	}
+	for i := 2; i < n; i++ {
+		if !r.Sched.Outcomes[i].Decided {
+			t.Errorf("correct simulator %d did not decide", i)
+		}
+		if got := r.Completed[i]; got < n-tRes {
+			t.Errorf("correct simulator %d completed %d simulated processes, Lemma 8 needs >= %d",
+				i, got, n-tRes)
+		}
+	}
+}
+
+// TestRunToCompletionCrashFree: with no crashes, every simulator completes
+// every simulated process and the run ends cleanly (no budget exhaustion).
+func TestRunToCompletionCrashFree(t *testing.T) {
+	const n = 4
+	inputs := tasks.DistinctInputs(n)
+	run, err := New(Config{
+		Alg:             algorithms.SnapshotKSet{T: 1},
+		Inputs:          inputs,
+		Simulators:      n,
+		SourceX:         1,
+		NewAgreement:    SafeAgreementProvider(n),
+		RunToCompletion: true,
+		Sched:           sched.Config{Seed: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := run.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("crash-free run-to-completion should terminate")
+	}
+	for i, c := range r.Completed {
+		if c != n {
+			t.Errorf("simulator %d completed %d of %d", i, c, n)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package bg
+
+// Tests of the engine's misuse detection: simulated algorithms that violate
+// the model's object discipline must surface as run errors, not silent
+// corruption.
+
+import (
+	"testing"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+// misbehavingAlg wraps a base port declaration with a configurable Run body.
+type misbehavingAlg struct {
+	name  string
+	ports [][]int
+	run   func(api algorithms.API)
+}
+
+func (a misbehavingAlg) Name() string            { return a.name }
+func (a misbehavingAlg) Requires(n, x int) error { return nil }
+func (a misbehavingAlg) Objects(n int) [][]int   { return a.ports }
+func (a misbehavingAlg) Run(api algorithms.API)  { a.run(api) }
+
+func runMisbehaving(t *testing.T, alg algorithms.Algorithm, sourceX int) error {
+	t.Helper()
+	run, err := New(Config{
+		Alg:          alg,
+		Inputs:       tasks.DistinctInputs(3),
+		Simulators:   2,
+		SourceX:      sourceX,
+		NewAgreement: SafeAgreementProvider(2),
+		Sched:        sched.Config{Seed: 1},
+	})
+	if err != nil {
+		return err
+	}
+	_, err = run.Run()
+	return err
+}
+
+func TestUndeclaredObjectRejected(t *testing.T) {
+	alg := misbehavingAlg{
+		name: "bad",
+		run: func(api algorithms.API) {
+			api.XConsPropose(0, api.Input()) // no objects declared
+		},
+	}
+	if err := runMisbehaving(t, alg, 2); err == nil {
+		t.Fatal("undeclared object access accepted")
+	}
+}
+
+func TestNonPortProposeRejected(t *testing.T) {
+	alg := misbehavingAlg{
+		name:  "bad",
+		ports: [][]int{{0, 1}},
+		run: func(api algorithms.API) {
+			// Process 2 is not a port of object 0. The other processes spin
+			// without deciding so the simulator reaches the violation.
+			if api.ID() == 2 {
+				api.XConsPropose(0, api.Input())
+			}
+			for {
+				api.Write(api.Input())
+			}
+		},
+	}
+	if err := runMisbehaving(t, alg, 2); err == nil {
+		t.Fatal("non-port propose accepted")
+	}
+}
+
+func TestDoubleSimulatedProposeRejected(t *testing.T) {
+	alg := misbehavingAlg{
+		name:  "bad",
+		ports: [][]int{{0, 1}},
+		run: func(api algorithms.API) {
+			if api.ID() == 0 {
+				api.XConsPropose(0, 1)
+				api.XConsPropose(0, 2)
+			}
+			for {
+				api.Write(api.Input())
+			}
+		},
+	}
+	if err := runMisbehaving(t, alg, 2); err == nil {
+		t.Fatal("double simulated propose accepted")
+	}
+}
+
+func TestNilSimulatedDecisionRejected(t *testing.T) {
+	alg := misbehavingAlg{
+		name: "bad",
+		run: func(api algorithms.API) {
+			api.Decide(nil)
+		},
+	}
+	if err := runMisbehaving(t, alg, 1); err == nil {
+		t.Fatal("nil simulated decision accepted")
+	}
+}
+
+func TestDoubleSimulatedDecideRejected(t *testing.T) {
+	alg := misbehavingAlg{
+		name: "bad",
+		run: func(api algorithms.API) {
+			api.Decide(1)
+			api.Decide(2)
+		},
+	}
+	if err := runMisbehaving(t, alg, 1); err == nil {
+		t.Fatal("double simulated decide accepted")
+	}
+}
+
+func TestSimAPIAccessors(t *testing.T) {
+	seenN := -1
+	seenInput := any(nil)
+	alg := misbehavingAlg{
+		name: "probe",
+		run: func(api algorithms.API) {
+			if api.ID() == 1 {
+				seenN = api.N()
+				seenInput = api.Input()
+			}
+			api.Write(api.Input())
+			api.Decide(api.Input())
+		},
+	}
+	if err := runMisbehaving(t, alg, 1); err != nil {
+		t.Fatal(err)
+	}
+	if seenN != 3 || seenInput != 1 {
+		t.Fatalf("API accessors: N=%d input=%v", seenN, seenInput)
+	}
+}

@@ -1,0 +1,206 @@
+// Package core implements the paper's contribution: the two simulations that
+// establish the multiplicative power of consensus numbers, and their colored
+// and generalized variants.
+//
+//   - ForwardSim (Section 3): an algorithm designed for ASM(n, t', x) is
+//     executed in ASM(n, t, 1), requiring t <= ⌊t'/x⌋. It extends the BG
+//     simulation with sim_x_cons_propose (Figure 4): each simulated
+//     consensus-number-x object is agreed upon through one safe_agreement
+//     object, and the mutex discipline bounds the damage of a simulator
+//     crash to at most x simulated processes (Lemma 1).
+//
+//   - ReverseSim (Section 4): an algorithm designed for ASM(n, t, 1) is
+//     executed in ASM(n, t', x), requiring t >= ⌊t'/x⌋. The snapshot
+//     agreements are x_safe_agreement objects (Figure 6), whose dynamically
+//     chosen x owners make x simulator crashes necessary to block one
+//     simulated process (Lemma 7).
+//
+//   - ColoredSim (Section 5.5): an algorithm solving a colored task in
+//     ASM(n, t, x) is executed in ASM(n', t', x'), requiring x' > 1,
+//     ⌊t/x⌋ >= ⌊t'/x'⌋ and n >= max(n', (n'-t')+t); simulators claim
+//     distinct simulated decisions through test&set objects (Figure 8).
+//
+//   - GeneralizedBG (Section 5.2, contribution 2): ASM(n, t, x) and
+//     ASM(t+1, t, x) are equivalent; an ASM(n, t, x) algorithm runs on t+1
+//     simulators equipped with consensus-number-x objects.
+//
+// Together with the classic BG simulation (internal/bg), these yield the
+// main theorem: ASM(n1, t1, x1) ≃ ASM(n2, t2, x2) for colorless tasks iff
+// ⌊t1/x1⌋ = ⌊t2/x2⌋ (Figure 7's chain of simulations).
+package core
+
+import (
+	"fmt"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/bg"
+	"mpcn/internal/model"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+// ForwardSim runs alg — designed for src = ASM(n, t', x) — in the target
+// model dst = ASM(n, t, 1) (Section 3). Theorem 1 requires t <= ⌊t'/x⌋; the
+// call fails otherwise. The scheduler config's MaxCrashes defaults to dst.T,
+// so adversaries exceeding the target model's resilience are rejected.
+func ForwardSim(alg algorithms.Algorithm, inputs []any, src, dst model.ASM, schedCfg sched.Config) (*bg.Result, error) {
+	if err := model.ForwardSimOK(src, dst); err != nil {
+		return nil, err
+	}
+	if len(inputs) != src.N {
+		return nil, fmt.Errorf("core: %d inputs for %v", len(inputs), src)
+	}
+	if schedCfg.MaxCrashes == 0 {
+		schedCfg.MaxCrashes = dst.T
+	}
+	run, err := bg.New(bg.Config{
+		Alg:          alg,
+		Inputs:       inputs,
+		Simulators:   dst.N,
+		SourceX:      src.X,
+		NewAgreement: bg.SafeAgreementProvider(dst.N),
+		Sched:        schedCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Run()
+}
+
+// ReverseSim runs alg — designed for src = ASM(n, t, 1) — in the target
+// model dst = ASM(n, t', x) (Section 4). Theorem 3 requires t >= ⌊t'/x⌋.
+// With x = 1 the target has no test&set (consensus number 1), and because
+// then t >= t' the plain safe_agreement discipline already suffices; for
+// x >= 2 the snapshot agreements are x_safe_agreement objects.
+func ReverseSim(alg algorithms.Algorithm, inputs []any, src, dst model.ASM, schedCfg sched.Config) (*bg.Result, error) {
+	if err := model.ReverseSimOK(src, dst); err != nil {
+		return nil, err
+	}
+	if len(inputs) != src.N {
+		return nil, fmt.Errorf("core: %d inputs for %v", len(inputs), src)
+	}
+	if schedCfg.MaxCrashes == 0 {
+		schedCfg.MaxCrashes = dst.T
+	}
+	provider := bg.SafeAgreementProvider(dst.N)
+	if dst.X >= 2 {
+		provider = bg.XSafeAgreementProvider(dst.N, dst.X, nil)
+	}
+	run, err := bg.New(bg.Config{
+		Alg:          alg,
+		Inputs:       inputs,
+		Simulators:   dst.N,
+		SourceX:      1,
+		NewAgreement: provider,
+		Sched:        schedCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Run()
+}
+
+// ColoredSim runs alg — solving a colored task in src = ASM(n, t, x) — in
+// the target model dst = ASM(n', t', x') (Section 5.5, Figure 8). Each
+// simulator decides the value of a distinct simulated process, claimed
+// through test&set objects (implementable in dst since x' > 1).
+func ColoredSim(alg algorithms.Algorithm, inputs []any, src, dst model.ASM, schedCfg sched.Config) (*bg.Result, error) {
+	if err := model.ColoredSimOK(src, dst); err != nil {
+		return nil, err
+	}
+	if len(inputs) != src.N {
+		return nil, fmt.Errorf("core: %d inputs for %v", len(inputs), src)
+	}
+	if schedCfg.MaxCrashes == 0 {
+		schedCfg.MaxCrashes = dst.T
+	}
+	run, err := bg.New(bg.Config{
+		Alg:          alg,
+		Inputs:       inputs,
+		Simulators:   dst.N,
+		SourceX:      src.X,
+		NewAgreement: bg.XSafeAgreementProvider(dst.N, dst.X, nil),
+		Colored:      true,
+		Sched:        schedCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Run()
+}
+
+// GeneralizedBG runs alg — designed for src = ASM(n, t, x) — on t+1
+// simulators in ASM(t+1, t, x) (Section 5.2, contribution 2; x = 1 is the
+// classic BG simulation). The simulators' agreement objects are
+// x_safe_agreement when x >= 2, so that t simulator crashes block at most
+// ⌊t/x⌋ snapshot agreements (and at most x simulated processes each through
+// the simulated objects), within the source algorithm's t-resilience.
+func GeneralizedBG(alg algorithms.Algorithm, inputs []any, src model.ASM, schedCfg sched.Config) (*bg.Result, error) {
+	if err := src.Validate(); err != nil {
+		return nil, err
+	}
+	if len(inputs) != src.N {
+		return nil, fmt.Errorf("core: %d inputs for %v", len(inputs), src)
+	}
+	simulators := src.T + 1
+	if schedCfg.MaxCrashes == 0 {
+		schedCfg.MaxCrashes = src.T
+	}
+	provider := bg.SafeAgreementProvider(simulators)
+	if src.X >= 2 && simulators >= src.X {
+		provider = bg.XSafeAgreementProvider(simulators, src.X, nil)
+	}
+	run, err := bg.New(bg.Config{
+		Alg:          alg,
+		Inputs:       inputs,
+		Simulators:   simulators,
+		SourceX:      src.X,
+		NewAgreement: provider,
+		Sched:        schedCfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return run.Run()
+}
+
+// ValidateColorless checks a simulation result against a colorless task:
+// every simulator decision must be a legal task output for the simulated
+// inputs. Colorless semantics make the arrangement over processes
+// immaterial, so decisions are packed into an output vector of the simulated
+// size.
+func ValidateColorless(task tasks.Task, inputs []any, r *bg.Result) error {
+	if task.Kind() != tasks.Colorless {
+		return fmt.Errorf("core: %s is not colorless", task.Name())
+	}
+	outputs := make([]any, len(inputs))
+	slot := 0
+	for _, v := range r.SimulatorDecisions {
+		if v == nil {
+			continue
+		}
+		outputs[slot%len(outputs)] = v
+		slot++
+	}
+	return task.Validate(inputs, outputs)
+}
+
+// ValidateColored checks a colored simulation result: the per-simulated-
+// process outputs induced by the simulators' distinct claims must satisfy
+// the task.
+func ValidateColored(task tasks.Task, inputs []any, r *bg.Result) error {
+	if task.Kind() != tasks.Colored {
+		return fmt.Errorf("core: %s is not colored", task.Name())
+	}
+	seen := make(map[int]bool)
+	for _, j := range r.ClaimedProc {
+		if j < 0 {
+			continue
+		}
+		if seen[j] {
+			return fmt.Errorf("core: simulated process %d claimed twice", j)
+		}
+		seen[j] = true
+	}
+	return task.Validate(inputs, r.SimOutputs)
+}

@@ -1,0 +1,455 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/model"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+func asm(t *testing.T, n, tt, x int) model.ASM {
+	t.Helper()
+	m, err := model.New(n, tt, x)
+	if err != nil {
+		t.Fatalf("model.New(%d,%d,%d): %v", n, tt, x, err)
+	}
+	return m
+}
+
+// --- ForwardSim (Section 3, Figures 2-4) ---
+
+func TestForwardSimCrashFree(t *testing.T) {
+	// GroupedKSet{K=2, X=2} is designed for ASM(4, 3, 2) (it tolerates
+	// t' < K*X = 4). Level ⌊3/2⌋ = 1, so it runs in ASM(4, 1, 1).
+	src := asm(t, 4, 3, 2)
+	dst := asm(t, 4, 1, 1)
+	inputs := tasks.DistinctInputs(4)
+	for seed := int64(0); seed < 8; seed++ {
+		r, err := ForwardSim(algorithms.GroupedKSet{K: 2, X: 2}, inputs, src, dst,
+			sched.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Sched.NumDecided() != 4 {
+			t.Fatalf("seed %d: decided %d of 4 (budget %v)",
+				seed, r.Sched.NumDecided(), r.Sched.BudgetExhausted)
+		}
+		if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestForwardSimToleratesTargetCrashes(t *testing.T) {
+	// One simulator crash (t = 1) timed inside a safe_agreement propose:
+	// survivors must decide — the crash blocks at most x = 2 simulated
+	// processes, within the source algorithm's 3-resilience.
+	src := asm(t, 4, 3, 2)
+	dst := asm(t, 4, 1, 1)
+	inputs := tasks.DistinctInputs(4)
+	adv := sched.NewPlan(sched.NewRandom(5)).CrashOnLabel(0, "XSAFE_AG[0].SM.scan", 1)
+	r, err := ForwardSim(algorithms.GroupedKSet{K: 2, X: 2}, inputs, src, dst,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("survivors blocked")
+	}
+	for i := 1; i < 4; i++ {
+		if r.Sched.Outcomes[i].Status != sched.StatusDecided {
+			t.Fatalf("simulator %d: %+v", i, r.Sched.Outcomes[i])
+		}
+	}
+	if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForwardSimLemma1Mechanism shows why Theorem 1 requires t <= ⌊t'/x⌋: a
+// single simulator crash inside the simulation of an x_cons object blocks
+// all x of its ports. With a source algorithm that is only 1-resilient
+// (ConsensusViaXCons with x = 2 tolerates t' < 2), losing 2 simulated
+// processes wedges every simulator.
+func TestForwardSimLemma1Mechanism(t *testing.T) {
+	src := asm(t, 4, 1, 2)
+	dst := asm(t, 4, 0, 1) // t = 0 = ⌊1/2⌋
+	inputs := tasks.DistinctInputs(4)
+	adv := sched.NewPlan(sched.NewRoundRobin()).CrashOnLabel(0, "XSAFE_AG[0].SM.scan", 1)
+	r, err := ForwardSim(algorithms.ConsensusViaXCons{X: 2}, inputs, src, dst,
+		sched.Config{Adversary: adv, MaxSteps: 60000, MaxCrashes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Sched.BudgetExhausted {
+		t.Fatal("expected a wedged run: one crash kills x = 2 simulated ports")
+	}
+	if r.Sched.NumDecided() != 0 {
+		t.Fatalf("decided %d, want 0", r.Sched.NumDecided())
+	}
+}
+
+func TestForwardSimConditionRejected(t *testing.T) {
+	// t = 2 > ⌊3/2⌋ = 1 violates Theorem 1's hypothesis.
+	src := asm(t, 4, 3, 2)
+	dst := asm(t, 4, 2, 1)
+	if _, err := ForwardSim(algorithms.GroupedKSet{K: 2, X: 2},
+		tasks.DistinctInputs(4), src, dst, sched.Config{}); err == nil {
+		t.Fatal("forward simulation with t > ⌊t'/x⌋ must be rejected")
+	}
+}
+
+func TestForwardSimInputMismatch(t *testing.T) {
+	src := asm(t, 4, 3, 2)
+	dst := asm(t, 4, 1, 1)
+	if _, err := ForwardSim(algorithms.GroupedKSet{K: 2, X: 2},
+		tasks.DistinctInputs(3), src, dst, sched.Config{}); err == nil {
+		t.Fatal("input count mismatch must be rejected")
+	}
+}
+
+// --- ReverseSim (Section 4, Figures 5-6) ---
+
+func TestReverseSimCrashFree(t *testing.T) {
+	// SnapshotKSet{T=1} is designed for ASM(5, 1, 1); ⌊3/2⌋ = 1 allows it
+	// to run in ASM(5, 3, 2).
+	src := asm(t, 5, 1, 1)
+	dst := asm(t, 5, 3, 2)
+	inputs := tasks.DistinctInputs(5)
+	for seed := int64(0); seed < 8; seed++ {
+		r, err := ReverseSim(algorithms.SnapshotKSet{T: 1}, inputs, src, dst,
+			sched.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Sched.NumDecided() != 5 {
+			t.Fatalf("seed %d: decided %d of 5 (budget %v)",
+				seed, r.Sched.NumDecided(), r.Sched.BudgetExhausted)
+		}
+		if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestReverseSimToleratesTPrimeCrashes is the flagship reverse-direction
+// property: t' = 3 > t = 1 simulator crashes — two of them inside the same
+// x_safe_agreement's consensus scan (killing both dynamic owners, hence one
+// simulated process) — and the surviving simulators still decide, because
+// ⌊t'/x⌋ = 1 <= t.
+func TestReverseSimToleratesTPrimeCrashes(t *testing.T) {
+	src := asm(t, 5, 1, 1)
+	dst := asm(t, 5, 3, 2)
+	inputs := tasks.DistinctInputs(5)
+	adv := sched.NewPlan(sched.NewRandom(11)).
+		CrashOnLabel(0, "SAFE_AG[0,1].XCONS[", 1).
+		CrashOnLabel(1, "SAFE_AG[0,1].XCONS[", 1).
+		CrashAfterProcSteps(2, 40)
+	r, err := ReverseSim(algorithms.SnapshotKSet{T: 1}, inputs, src, dst,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("correct simulators blocked despite ⌊t'/x⌋ <= t")
+	}
+	for i := 3; i < 5; i++ {
+		if r.Sched.Outcomes[i].Status != sched.StatusDecided {
+			t.Fatalf("simulator %d: %+v", i, r.Sched.Outcomes[i])
+		}
+	}
+	if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseSimXEqualsOne(t *testing.T) {
+	// Degenerate x = 1 target: ASM(n, t', 1) with t' <= t is simulated with
+	// plain safe_agreement.
+	src := asm(t, 4, 2, 1)
+	dst := asm(t, 4, 1, 1)
+	inputs := tasks.DistinctInputs(4)
+	r, err := ReverseSim(algorithms.SnapshotKSet{T: 2}, inputs, src, dst,
+		sched.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.NumDecided() != 4 {
+		t.Fatalf("decided %d of 4", r.Sched.NumDecided())
+	}
+	if err := ValidateColorless(tasks.KSet{K: 3}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReverseSimConditionRejected(t *testing.T) {
+	// t = 1 < ⌊4/2⌋ = 2 violates Theorem 3's hypothesis.
+	src := asm(t, 5, 1, 1)
+	dst := asm(t, 5, 4, 2)
+	if _, err := ReverseSim(algorithms.SnapshotKSet{T: 1},
+		tasks.DistinctInputs(5), src, dst, sched.Config{}); err == nil {
+		t.Fatal("reverse simulation with t < ⌊t'/x⌋ must be rejected")
+	}
+}
+
+// --- ColoredSim (Section 5.5, Figure 8) ---
+
+func TestColoredSimRenamingCrashFree(t *testing.T) {
+	// Wait-free renaming for 7 processes (src ASM(7, 3, 1)) simulated by 5
+	// simulators in ASM(5, 2, 2): x' = 2 > 1, ⌊3/1⌋ = 3 >= ⌊2/2⌋ = 1, and
+	// n = 7 >= max(5, 5-2+3) = 6.
+	src := asm(t, 7, 3, 1)
+	dst := asm(t, 5, 2, 2)
+	inputs := tasks.DistinctInputs(7)
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := ColoredSim(algorithms.Renaming{}, inputs, src, dst,
+			sched.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Sched.NumDecided() != 5 {
+			t.Fatalf("seed %d: decided %d of 5 (budget %v)",
+				seed, r.Sched.NumDecided(), r.Sched.BudgetExhausted)
+		}
+		if err := ValidateColored(tasks.Renaming{M: 13}, inputs, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestColoredSimToleratesCrashes(t *testing.T) {
+	src := asm(t, 7, 3, 1)
+	dst := asm(t, 5, 2, 2)
+	inputs := tasks.DistinctInputs(7)
+	adv := sched.NewPlan(sched.NewRandom(9)).
+		CrashAfterProcSteps(0, 25).
+		CrashAfterProcSteps(1, 60)
+	r, err := ColoredSim(algorithms.Renaming{}, inputs, src, dst,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("correct simulators blocked")
+	}
+	for i := 2; i < 5; i++ {
+		if r.Sched.Outcomes[i].Status != sched.StatusDecided {
+			t.Fatalf("simulator %d: %+v", i, r.Sched.Outcomes[i])
+		}
+	}
+	if err := ValidateColored(tasks.Renaming{M: 13}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColoredSimConditionsRejected(t *testing.T) {
+	inputs := tasks.DistinctInputs(7)
+	// x' = 1.
+	if _, err := ColoredSim(algorithms.Renaming{}, inputs,
+		asm(t, 7, 3, 1), asm(t, 5, 2, 1), sched.Config{}); err == nil {
+		t.Fatal("x' = 1 must be rejected")
+	}
+	// n too small: n = 7 < (n'-t')+t = 7-1+3 = 9.
+	if _, err := ColoredSim(algorithms.Renaming{}, inputs,
+		asm(t, 7, 3, 1), asm(t, 7, 1, 2), sched.Config{}); err == nil {
+		t.Fatal("n condition violation must be rejected")
+	}
+}
+
+// --- GeneralizedBG (Section 5.2) ---
+
+func TestGeneralizedBGCrashFree(t *testing.T) {
+	// ASM(6, 3, 2) ≃ ASM(4, 3, 2): GroupedKSet{K=2, X=2} (tolerates t' < 4)
+	// runs on t+1 = 4 simulators equipped with 2-consensus objects.
+	src := asm(t, 6, 3, 2)
+	inputs := tasks.DistinctInputs(6)
+	for seed := int64(0); seed < 5; seed++ {
+		r, err := GeneralizedBG(algorithms.GroupedKSet{K: 2, X: 2}, inputs, src,
+			sched.Config{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if r.Sched.NumDecided() != 4 {
+			t.Fatalf("seed %d: decided %d of 4", seed, r.Sched.NumDecided())
+		}
+		if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGeneralizedBGWithCrashes(t *testing.T) {
+	src := asm(t, 6, 3, 2)
+	inputs := tasks.DistinctInputs(6)
+	adv := sched.NewPlan(sched.NewRandom(13)).
+		CrashAfterProcSteps(0, 10).
+		CrashAfterProcSteps(1, 30).
+		CrashAfterProcSteps(2, 50)
+	r, err := GeneralizedBG(algorithms.GroupedKSet{K: 2, X: 2}, inputs, src,
+		sched.Config{Adversary: adv, MaxSteps: 1 << 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.BudgetExhausted {
+		t.Fatal("survivor blocked")
+	}
+	if r.Sched.Outcomes[3].Status != sched.StatusDecided {
+		t.Fatalf("survivor simulator: %+v", r.Sched.Outcomes[3])
+	}
+	if err := ValidateColorless(tasks.KSet{K: 2}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralizedBGClassicX1(t *testing.T) {
+	src := asm(t, 5, 2, 1)
+	inputs := tasks.DistinctInputs(5)
+	r, err := GeneralizedBG(algorithms.SnapshotKSet{T: 2}, inputs, src, sched.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sched.NumDecided() != 3 {
+		t.Fatalf("decided %d of 3", r.Sched.NumDecided())
+	}
+	if err := ValidateColorless(tasks.KSet{K: 3}, inputs, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Figure 7: the equivalence chain ---
+
+// TestFigure7Chain walks the chain ASM(6,5,2) -> ASM(6,2,1) -> ASM(3,2,1)
+// -> ASM(6,5,2): each arrow is one of the paper's simulations, each stage
+// solves 3-set agreement, and the model algebra certifies the equivalence.
+func TestFigure7Chain(t *testing.T) {
+	m1 := asm(t, 6, 5, 2)      // ASM(n1, t1, x1), level 2
+	canon := asm(t, 6, 2, 1)   // canonical ASM(n, t, 1)
+	bgModel := asm(t, 3, 2, 1) // ASM(t+1, t, 1)
+	if !model.Equivalent(m1, canon) || !model.Equivalent(canon, bgModel) {
+		t.Fatal("model algebra should certify the chain")
+	}
+	inputs := tasks.DistinctInputs(6)
+	task := tasks.KSet{K: 3}
+
+	// Stage 1 (Section 3): an ASM(6,5,2) algorithm runs in ASM(6,2,1).
+	r1, err := ForwardSim(algorithms.GroupedKSet{K: 3, X: 2}, inputs, m1, canon,
+		sched.Config{Seed: 21})
+	if err != nil {
+		t.Fatalf("stage 1: %v", err)
+	}
+	if err := ValidateColorless(task, inputs, r1); err != nil {
+		t.Fatalf("stage 1: %v", err)
+	}
+
+	// Stage 2 (classic BG): the canonical algorithm runs on t+1 = 3
+	// simulators (GeneralizedBG with x = 1).
+	r2, err := GeneralizedBG(algorithms.SnapshotKSet{T: 2}, inputs, canon,
+		sched.Config{Seed: 22})
+	if err != nil {
+		t.Fatalf("stage 2: %v", err)
+	}
+	if err := ValidateColorless(task, inputs, r2); err != nil {
+		t.Fatalf("stage 2: %v", err)
+	}
+
+	// Stage 3 (Section 4): the canonical algorithm runs in ASM(6,5,2).
+	r3, err := ReverseSim(algorithms.SnapshotKSet{T: 2}, inputs, canon, m1,
+		sched.Config{Seed: 23})
+	if err != nil {
+		t.Fatalf("stage 3: %v", err)
+	}
+	if err := ValidateColorless(task, inputs, r3); err != nil {
+		t.Fatalf("stage 3: %v", err)
+	}
+}
+
+// --- Validation helpers ---
+
+func TestValidateKindChecks(t *testing.T) {
+	src := asm(t, 4, 3, 2)
+	dst := asm(t, 4, 1, 1)
+	inputs := tasks.DistinctInputs(4)
+	r, err := ForwardSim(algorithms.GroupedKSet{K: 2, X: 2}, inputs, src, dst,
+		sched.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateColorless(tasks.Renaming{M: 7}, inputs, r); err == nil {
+		t.Fatal("colored task accepted by ValidateColorless")
+	}
+	if err := ValidateColored(tasks.KSet{K: 2}, inputs, r); err == nil {
+		t.Fatal("colorless task accepted by ValidateColored")
+	}
+}
+
+// TestQuickForwardSimBoundary sweeps (x, t') pairs: the forward simulation
+// with t = ⌊t'/x⌋ always succeeds crash-free and satisfies the
+// (⌊t'/x⌋+1)-set bound.
+func TestQuickForwardSimBoundary(t *testing.T) {
+	f := func(seed int64, rawX, rawTp uint8) bool {
+		x := int(rawX%3) + 1
+		k := int(rawTp%2) + 1 // target level + 1
+		tPrime := k*x - 1     // max t' in the class: level = k-1
+		n := k * x            // minimal population for GroupedKSet
+		if tPrime >= n {
+			tPrime = n - 1
+		}
+		src := model.ASM{N: n, T: tPrime, X: x}
+		dst := model.ASM{N: n, T: src.Level(), X: 1}
+		inputs := tasks.DistinctInputs(n)
+		r, err := ForwardSim(algorithms.GroupedKSet{K: k, X: x}, inputs, src, dst,
+			sched.Config{Seed: seed, MaxSteps: 1 << 21})
+		if err != nil || r.Sched.BudgetExhausted {
+			return false
+		}
+		return ValidateColorless(tasks.KSet{K: k}, inputs, r) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneralizedBGValidation(t *testing.T) {
+	inputs := tasks.DistinctInputs(5)
+	t.Run("invalid model", func(t *testing.T) {
+		if _, err := GeneralizedBG(algorithms.SnapshotKSet{T: 2}, inputs,
+			model.ASM{N: 5, T: 5, X: 1}, sched.Config{}); err == nil {
+			t.Fatal("t >= n accepted")
+		}
+	})
+	t.Run("input mismatch", func(t *testing.T) {
+		if _, err := GeneralizedBG(algorithms.SnapshotKSet{T: 2}, inputs,
+			model.ASM{N: 6, T: 2, X: 1}, sched.Config{}); err == nil {
+			t.Fatal("input count mismatch accepted")
+		}
+	})
+	t.Run("algorithm precondition", func(t *testing.T) {
+		// GroupedKSet{K:3, X:2} needs n >= 6; n = 5 must be rejected by the
+		// engine's Requires check.
+		if _, err := GeneralizedBG(algorithms.GroupedKSet{K: 3, X: 2}, inputs,
+			model.ASM{N: 5, T: 4, X: 2}, sched.Config{}); err == nil {
+			t.Fatal("algorithm precondition violation accepted")
+		}
+	})
+}
+
+func TestReverseSimInputMismatch(t *testing.T) {
+	src := asm(t, 5, 1, 1)
+	dst := asm(t, 5, 3, 2)
+	if _, err := ReverseSim(algorithms.SnapshotKSet{T: 1},
+		tasks.DistinctInputs(4), src, dst, sched.Config{}); err == nil {
+		t.Fatal("input count mismatch accepted")
+	}
+}
+
+func TestColoredSimInputMismatch(t *testing.T) {
+	src := asm(t, 7, 3, 1)
+	dst := asm(t, 5, 2, 2)
+	if _, err := ColoredSim(algorithms.Renaming{},
+		tasks.DistinctInputs(6), src, dst, sched.Config{}); err == nil {
+		t.Fatal("input count mismatch accepted")
+	}
+}

@@ -1,0 +1,188 @@
+// Package coro provides killable coroutines used by simulators to run the
+// threads of their simulated processes.
+//
+// A BG-style simulator "locally executes, in a fair way, one thread per
+// simulated process" (Imbs & Raynal 2010, §2.4). A thread must be suspendable
+// wherever its simulated process could block (for example while a
+// safe_agreement decide spins), so each thread runs on its own goroutine and
+// hands control back to the simulator through Yield. Exactly one goroutine of
+// the cooperating group runs at a time — control is transferred by channel
+// handoff, which also provides the happens-before edges the Go memory model
+// requires.
+//
+// Panics raised inside a thread (in particular the crash sentinel of
+// internal/sched) are re-raised inside the resuming goroutine, so a simulated
+// crash delivered to a thread correctly unwinds its simulator. Kill reaps a
+// parked thread without running any of its remaining code, so no goroutine
+// outlives its simulator.
+package coro
+
+// Yielder is passed to a thread body and provides the suspension point.
+type Yielder struct {
+	t *Thread
+}
+
+// Yield suspends the thread and returns control to the goroutine that called
+// Resume. It returns when the thread is resumed, and panics with a private
+// sentinel if the thread is killed while parked.
+func (y *Yielder) Yield() {
+	y.t.yield <- yieldMsg{}
+	m := <-y.t.resume
+	if m.kill {
+		panic(killSentinel{})
+	}
+}
+
+type killSentinel struct{}
+
+type resumeMsg struct {
+	kill bool
+}
+
+type yieldMsg struct {
+	done     bool
+	panicked any // non-nil when the body panicked with a foreign value
+}
+
+// Thread is a coroutine. The zero value is not usable; construct with New.
+// Thread methods must be called from a single resuming goroutine at a time.
+type Thread struct {
+	body    func(*Yielder)
+	resume  chan resumeMsg
+	yield   chan yieldMsg
+	started bool
+	done    bool
+}
+
+// New returns a thread that will run body. The body does not start executing
+// until the first Resume.
+func New(body func(*Yielder)) *Thread {
+	return &Thread{
+		body:   body,
+		resume: make(chan resumeMsg),
+		yield:  make(chan yieldMsg),
+	}
+}
+
+// Resume runs the thread until its next Yield or until its body returns, and
+// reports whether the thread is done. Resuming a done thread is a no-op that
+// returns true. If the thread body panicked with a foreign value (anything
+// other than the internal kill sentinel), Resume re-panics that value in the
+// caller's goroutine.
+func (t *Thread) Resume() bool {
+	if t.done {
+		return true
+	}
+	if !t.started {
+		t.started = true
+		go t.run()
+	} else {
+		t.resume <- resumeMsg{}
+	}
+	m := <-t.yield
+	if m.done {
+		t.done = true
+	}
+	if m.panicked != nil {
+		panic(m.panicked)
+	}
+	return t.done
+}
+
+// Kill reaps the thread: a never-started or parked thread is unwound without
+// executing further body code. Killing a done thread is a no-op. Kill is safe
+// to call during a panic unwind, which is how simulators clean up sibling
+// threads when one of them crashes.
+func (t *Thread) Kill() {
+	if t.done {
+		return
+	}
+	if !t.started {
+		t.done = true
+		return
+	}
+	t.resume <- resumeMsg{kill: true}
+	// The kill sentinel unwinds the thread body; its wrapper acknowledges
+	// with a final done message. A foreign panic raised by a defer inside the
+	// body would be surfaced here, but simulated-algorithm code installs no
+	// defers, so the acknowledgement is unconditional in practice.
+	m := <-t.yield
+	t.done = true
+	if m.panicked != nil {
+		panic(m.panicked)
+	}
+}
+
+// Done reports whether the thread has finished (returned, crashed or been
+// killed).
+func (t *Thread) Done() bool { return t.done }
+
+func (t *Thread) run() {
+	y := &Yielder{t: t}
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil:
+			t.yield <- yieldMsg{done: true}
+		case isKill(r):
+			t.yield <- yieldMsg{done: true}
+		default:
+			t.yield <- yieldMsg{done: true, panicked: r}
+		}
+	}()
+	t.body(y)
+}
+
+func isKill(v any) bool {
+	_, ok := v.(killSentinel)
+	return ok
+}
+
+// Group is a set of threads resumed round-robin, the fairness discipline the
+// BG simulation prescribes for a simulator's local threads.
+type Group struct {
+	threads []*Thread
+	next    int
+}
+
+// NewGroup returns a Group over the given threads.
+func NewGroup(threads []*Thread) *Group {
+	ts := make([]*Thread, len(threads))
+	copy(ts, threads)
+	return &Group{threads: ts}
+}
+
+// ResumeNext resumes the next live thread in round-robin order and reports
+// whether any live thread remains afterwards. When all threads are done it
+// returns false without resuming anything.
+func (g *Group) ResumeNext() bool {
+	n := len(g.threads)
+	for i := 0; i < n; i++ {
+		idx := (g.next + i) % n
+		if g.threads[idx].Done() {
+			continue
+		}
+		g.next = (idx + 1) % n
+		g.threads[idx].Resume()
+		return g.Live() > 0
+	}
+	return false
+}
+
+// Live returns the number of threads that are not done.
+func (g *Group) Live() int {
+	live := 0
+	for _, t := range g.threads {
+		if !t.Done() {
+			live++
+		}
+	}
+	return live
+}
+
+// KillAll reaps every live thread. It is safe during panic unwinds.
+func (g *Group) KillAll() {
+	for _, t := range g.threads {
+		t.Kill()
+	}
+}

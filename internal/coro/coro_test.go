@@ -1,0 +1,196 @@
+package coro
+
+import (
+	"testing"
+)
+
+func TestResumeRunsToYield(t *testing.T) {
+	var log []int
+	th := New(func(y *Yielder) {
+		log = append(log, 1)
+		y.Yield()
+		log = append(log, 2)
+		y.Yield()
+		log = append(log, 3)
+	})
+	if th.Done() {
+		t.Fatal("new thread should not be done")
+	}
+	if th.Resume() {
+		t.Fatal("thread finished too early")
+	}
+	if len(log) != 1 || log[0] != 1 {
+		t.Fatalf("log = %v, want [1]", log)
+	}
+	if th.Resume() {
+		t.Fatal("thread finished too early")
+	}
+	if !th.Resume() {
+		t.Fatal("thread should be done after third resume")
+	}
+	if len(log) != 3 {
+		t.Fatalf("log = %v, want 3 entries", log)
+	}
+	if !th.Resume() {
+		t.Fatal("resuming a done thread should report done")
+	}
+}
+
+func TestKillNeverStarted(t *testing.T) {
+	ran := false
+	th := New(func(y *Yielder) { ran = true })
+	th.Kill()
+	if !th.Done() {
+		t.Fatal("killed thread should be done")
+	}
+	if ran {
+		t.Fatal("killed-before-start thread must not run")
+	}
+}
+
+func TestKillParked(t *testing.T) {
+	reached := false
+	th := New(func(y *Yielder) {
+		y.Yield()
+		reached = true
+	})
+	th.Resume()
+	th.Kill()
+	if !th.Done() {
+		t.Fatal("killed thread should be done")
+	}
+	if reached {
+		t.Fatal("code after the kill point must not run")
+	}
+	th.Kill() // killing a done thread is a no-op
+}
+
+func TestForeignPanicPropagates(t *testing.T) {
+	th := New(func(y *Yielder) {
+		y.Yield()
+		panic("boom")
+	})
+	th.Resume()
+	defer func() {
+		r := recover()
+		if r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+		if !th.Done() {
+			t.Fatal("panicked thread should be done")
+		}
+	}()
+	th.Resume()
+	t.Fatal("unreachable")
+}
+
+func TestImmediatePanicPropagates(t *testing.T) {
+	th := New(func(y *Yielder) { panic(42) })
+	defer func() {
+		if r := recover(); r != 42 {
+			t.Fatalf("recovered %v, want 42", r)
+		}
+	}()
+	th.Resume()
+	t.Fatal("unreachable")
+}
+
+func TestGroupRoundRobin(t *testing.T) {
+	var order []int
+	mk := func(id, rounds int) *Thread {
+		return New(func(y *Yielder) {
+			for i := 0; i < rounds; i++ {
+				order = append(order, id)
+				y.Yield()
+			}
+		})
+	}
+	g := NewGroup([]*Thread{mk(0, 2), mk(1, 2), mk(2, 2)})
+	for g.ResumeNext() {
+	}
+	// Each thread logs once per full resume; round-robin order interleaves.
+	want := []int{0, 1, 2, 0, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if g.Live() != 0 {
+		t.Fatalf("live = %d, want 0", g.Live())
+	}
+}
+
+func TestGroupSkipsDone(t *testing.T) {
+	var order []int
+	short := New(func(y *Yielder) { order = append(order, 0) })
+	long := New(func(y *Yielder) {
+		order = append(order, 1)
+		y.Yield()
+		order = append(order, 1)
+	})
+	g := NewGroup([]*Thread{short, long})
+	for g.ResumeNext() {
+	}
+	want := []int{0, 1, 1}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+}
+
+func TestGroupKillAll(t *testing.T) {
+	after := 0
+	mk := func() *Thread {
+		return New(func(y *Yielder) {
+			y.Yield()
+			after++
+		})
+	}
+	g := NewGroup([]*Thread{mk(), mk(), mk()})
+	g.ResumeNext()
+	g.ResumeNext()
+	g.KillAll()
+	if g.Live() != 0 {
+		t.Fatalf("live = %d, want 0", g.Live())
+	}
+	if after != 0 {
+		t.Fatalf("killed threads executed post-yield code %d times", after)
+	}
+}
+
+func TestKillAllDuringPanicUnwind(t *testing.T) {
+	// Simulates the simulator-crash path: one thread panics with a foreign
+	// value; the simulator's deferred KillAll must reap the survivors while
+	// the panic is in flight.
+	sib := New(func(y *Yielder) { y.Yield() })
+	bad := New(func(y *Yielder) { y.Yield(); panic("crash") })
+	g := NewGroup([]*Thread{sib, bad})
+	g.ResumeNext() // starts sib, parks it
+	g.ResumeNext() // starts bad, parks it
+
+	defer func() {
+		if r := recover(); r != "crash" {
+			t.Fatalf("recovered %v, want crash", r)
+		}
+		if sib.Done() != true {
+			t.Fatal("sibling not reaped")
+		}
+	}()
+	func() {
+		defer g.KillAll()
+		bad.Resume()
+	}()
+	t.Fatal("unreachable")
+}
+
+func TestGroupEmpty(t *testing.T) {
+	g := NewGroup(nil)
+	if g.ResumeNext() {
+		t.Fatal("empty group should have nothing to resume")
+	}
+	if g.Live() != 0 {
+		t.Fatal("empty group should have no live threads")
+	}
+}

@@ -1,0 +1,210 @@
+package detector
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+)
+
+func runConsensus(t *testing.T, n int, cfg sched.Config) *sched.Result {
+	t.Helper()
+	cons := NewOmegaConsensus("oc", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		v := 100 + i
+		bodies[i] = func(e *sched.Env) {
+			e.Decide(cons.Propose(e, v))
+		}
+	}
+	res, err := sched.Run(cfg, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func checkAgreementValidity(t *testing.T, n int, res *sched.Result) {
+	t.Helper()
+	if res.DistinctDecided() > 1 {
+		t.Fatalf("disagreement: %v", res.DecidedValues())
+	}
+	for i, o := range res.Outcomes {
+		if !o.Decided {
+			continue
+		}
+		v, ok := o.Value.(int)
+		if !ok || v < 100 || v >= 100+n {
+			t.Fatalf("proc %d decided %v, not a proposal", i, o.Value)
+		}
+	}
+}
+
+func TestOmegaConsensusCrashFree(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		for seed := int64(0); seed < 10; seed++ {
+			res := runConsensus(t, n, sched.Config{Seed: seed})
+			if res.NumDecided() != n {
+				t.Fatalf("n=%d seed=%d: decided %d (budget %v)",
+					n, seed, res.NumDecided(), res.BudgetExhausted)
+			}
+			checkAgreementValidity(t, n, res)
+		}
+	}
+}
+
+// TestOmegaConsensusWaitFree is the boosting headline: consensus terminates
+// with n-1 of n processes crashed — impossible from registers alone (FLP /
+// consensus number 1), possible with Ω.
+func TestOmegaConsensusWaitFree(t *testing.T) {
+	const n = 5
+	adv := sched.NewCrashSet(sched.NewRandom(3), 0, 1, 2, 3)
+	res := runConsensus(t, n, sched.Config{Adversary: adv, MaxSteps: 1 << 20})
+	if res.BudgetExhausted {
+		t.Fatal("survivor blocked: Ω consensus must be wait-free")
+	}
+	if !res.Outcomes[4].Decided || res.Outcomes[4].Value != 104 {
+		t.Fatalf("survivor outcome: %+v", res.Outcomes[4])
+	}
+}
+
+// TestOmegaConsensusLeaderCrashMidRound crashes the initial leader inside
+// its write phase; the next leader must take over and decide consistently.
+func TestOmegaConsensusLeaderCrashMidRound(t *testing.T) {
+	const n = 4
+	cons := NewOmegaConsensus("oc", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		v := 100 + i
+		bodies[i] = func(e *sched.Env) {
+			e.Decide(cons.Propose(e, v))
+		}
+	}
+	// Proc 0 is the initial leader; crash it right before one of its memory
+	// updates mid-round (occurrence 2 = after it already announced rr).
+	adv := sched.NewPlan(sched.NewRandom(7)).CrashOnLabel(0, "oc.mem[0].update", 2)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 20}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("survivors blocked after leader crash")
+	}
+	for i := 1; i < n; i++ {
+		if !res.Outcomes[i].Decided {
+			t.Fatalf("survivor %d did not decide", i)
+		}
+	}
+	checkAgreementValidity(t, n, res)
+}
+
+// TestQuickOmegaConsensusSafety: agreement and validity hold for arbitrary
+// crash timing and schedules; termination holds whenever at least one
+// process survives.
+func TestQuickOmegaConsensusSafety(t *testing.T) {
+	f := func(seed int64, rawN, rawF, crashAt uint8) bool {
+		n := int(rawN%5) + 2
+		fCount := int(rawF) % n // leave at least one survivor
+		cons := NewOmegaConsensus("oc", n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			v := 100 + i
+			bodies[i] = func(e *sched.Env) {
+				e.Decide(cons.Propose(e, v))
+			}
+		}
+		adv := sched.NewPlan(sched.NewRandom(seed))
+		for v := 0; v < fCount; v++ {
+			adv.CrashAfterProcSteps(sched.ProcID(v), int(crashAt%9)+1)
+		}
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 20}, bodies)
+		if err != nil || res.BudgetExhausted {
+			return false
+		}
+		if res.NumDecided() < n-fCount {
+			return false
+		}
+		if res.DistinctDecided() > 1 {
+			return false
+		}
+		for _, o := range res.Outcomes {
+			if o.Decided {
+				v, ok := o.Value.(int)
+				if !ok || v < 100 || v >= 100+n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOmegaConsensusMisuse(t *testing.T) {
+	t.Run("invalid n", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("n = 0 accepted")
+			}
+		}()
+		NewOmegaConsensus("bad", 0)
+	})
+	t.Run("nil proposal", func(t *testing.T) {
+		cons := NewOmegaConsensus("oc", 1)
+		bodies := []sched.Proc{func(e *sched.Env) { cons.Propose(e, nil) }}
+		if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+			t.Fatal("nil proposal accepted")
+		}
+	})
+	t.Run("population overflow", func(t *testing.T) {
+		cons := NewOmegaConsensus("oc", 1)
+		bodies := []sched.Proc{
+			func(e *sched.Env) { e.Decide(cons.Propose(e, 1)) },
+			func(e *sched.Env) { e.Decide(cons.Propose(e, 2)) },
+		}
+		if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+			t.Fatal("out-of-population proposer accepted")
+		}
+	})
+}
+
+// TestLeaderOracleStability: the Ω oracle returns the smallest live process
+// and stabilizes once crashes stop.
+func TestLeaderOracleStability(t *testing.T) {
+	const n = 3
+	var seen []sched.ProcID
+	bodies := make([]sched.Proc, n)
+	bodies[0] = func(e *sched.Env) {
+		for i := 0; i < 3; i++ {
+			e.Step("spin")
+		}
+	}
+	bodies[1] = func(e *sched.Env) {
+		for i := 0; i < 20; i++ {
+			e.Step("probe")
+			seen = append(seen, e.Leader())
+		}
+		e.Decide(0)
+	}
+	bodies[2] = func(e *sched.Env) {
+		for i := 0; i < 20; i++ {
+			e.Step("spin")
+		}
+		e.Decide(0)
+	}
+	adv := sched.NewPlan(sched.NewRoundRobin()).CrashAfterProcSteps(0, 2)
+	if _, err := sched.Run(sched.Config{Adversary: adv}, bodies); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) == 0 {
+		t.Fatal("no oracle observations")
+	}
+	if first := seen[0]; first != 0 {
+		t.Fatalf("initial leader = %d, want 0", first)
+	}
+	if last := seen[len(seen)-1]; last != 1 {
+		t.Fatalf("post-crash leader = %d, want 1", last)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"mpcn/internal/hierarchy"
+	"mpcn/internal/sched"
+	"mpcn/internal/snapshot"
+)
+
+// The helpers below keep the experiment bodies free of generic noise.
+
+func hierarchyFromTAS() interface{ Propose(*sched.Env, any) any } {
+	return hierarchy.NewFromTAS("c", 0, 1)
+}
+
+func hierarchyFromQueue() interface{ Propose(*sched.Env, any) any } {
+	return hierarchy.NewFromQueue("c", 0, 1)
+}
+
+func hierarchyFromCAS(n int) interface{ Propose(*sched.Env, any) any } {
+	return hierarchy.NewFromCAS("c", n)
+}
+
+// snapshotIface is the minimal snapshot surface E12 needs.
+type snapshotIface interface {
+	Update(e *sched.Env, i int, v int)
+	Scan(e *sched.Env) []int
+}
+
+func newPrimitiveSnapshot() snapshotIface {
+	return snapshot.NewPrimitive[int]("mem", 3)
+}
+
+func newAfekSnapshot() snapshotIface {
+	return snapshot.NewAfek[int]("mem", 3)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsPass(t *testing.T) {
+	rows := All()
+	if len(rows) == 0 {
+		t.Fatal("no experiment rows")
+	}
+	for _, r := range rows {
+		if !r.OK {
+			t.Errorf("%s [%s]: claim %q, measured %q",
+				r.Experiment, r.Setting, r.Claim, r.Measured)
+		}
+	}
+	if !Passed(rows) && !t.Failed() {
+		t.Error("Passed() disagrees with per-row OK flags")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	rows := []Row{
+		{Experiment: "EX", Setting: "s", Claim: "c", Measured: "m", OK: true},
+		{Experiment: "EY", Setting: "s2", Claim: "c2", Measured: "m2", OK: false},
+	}
+	out := Table(rows)
+	for _, want := range []string{"experiment", "EX", "PASS", "EY", "FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + separator + 2 rows
+		t.Errorf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestPassed(t *testing.T) {
+	if !Passed(nil) {
+		t.Error("empty row set should pass")
+	}
+	if Passed([]Row{{OK: false}}) {
+		t.Error("failing row not detected")
+	}
+}
+
+func TestE8ClassesRow(t *testing.T) {
+	rows := E8Classes()
+	if len(rows) != 1 || !rows[0].OK {
+		t.Fatalf("E8 = %+v", rows)
+	}
+	if !strings.Contains(rows[0].Measured, "level 4") {
+		t.Errorf("E8 measured %q should mention level 4", rows[0].Measured)
+	}
+}
+
+func TestE9GridShape(t *testing.T) {
+	rows := E9BoundarySweep()
+	// 3 x-values times 4 t'-values = 12 solvable rows, plus one unsolvable
+	// row per cell with level >= 1.
+	solvable, unsolvable := 0, 0
+	for _, r := range rows {
+		if strings.Contains(r.Claim, "unsolvable") {
+			unsolvable++
+		} else {
+			solvable++
+		}
+	}
+	if solvable != 12 {
+		t.Errorf("solvable rows = %d, want 12", solvable)
+	}
+	if unsolvable == 0 {
+		t.Error("no unsolvable rows generated")
+	}
+}
+
+// TestHarnessDeterminism: two full harness runs produce identical rows —
+// the property that makes EXPERIMENTS.md reproducible.
+func TestHarnessDeterminism(t *testing.T) {
+	a, b := All(), All()
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

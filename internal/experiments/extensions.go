@@ -1,0 +1,179 @@
+package experiments
+
+// Extension experiments beyond the paper's own artifacts: the failure-
+// detector boosting context and the (m, ℓ)-set agreement threshold that
+// §1.3 cites as related work.
+
+import (
+	"fmt"
+
+	"mpcn/internal/algorithms"
+	"mpcn/internal/detector"
+	"mpcn/internal/sched"
+	"mpcn/internal/snapshot"
+	"mpcn/internal/tasks"
+)
+
+// E13OmegaBoosting shows the boosting phenomenon of §1.3: registers alone
+// have consensus number 1, yet registers plus the Ω oracle solve consensus
+// wait-free (n-1 crashes), and a leader crash mid-round is absorbed.
+func E13OmegaBoosting() []Row {
+	const n = 5
+	waitFree := true
+	for seed := int64(0); seed < 6; seed++ {
+		cons := detector.NewOmegaConsensus("oc", n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			v := 100 + i
+			bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, v)) }
+		}
+		adv := sched.NewCrashSet(sched.NewRandom(seed), 0, 1, 2, 3)
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 20}, bodies)
+		if err != nil || res.BudgetExhausted || !res.Outcomes[4].Decided {
+			waitFree = false
+		}
+	}
+
+	leaderCrash := true
+	cons := detector.NewOmegaConsensus("oc", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		v := 100 + i
+		bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, v)) }
+	}
+	adv := sched.NewPlan(sched.NewRandom(7)).CrashOnLabel(0, "oc.mem[0].update", 2)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 20}, bodies)
+	if err != nil || res.BudgetExhausted || res.NumDecided() != n-1 || res.DistinctDecided() != 1 {
+		leaderCrash = false
+	}
+
+	// Ωx boosting (Guerraoui-Kuznetsov iterated): n-process consensus from
+	// x-ported consensus objects + the adversarially weak Ωx oracle, under
+	// crashes that leave the stabilized leader window with a dead minimum.
+	boosted := true
+	for seed := int64(0); seed < 6; seed++ {
+		cons := detector.NewBoostedConsensus("bc", 6, 3)
+		bodies := make([]sched.Proc, 6)
+		for i := range bodies {
+			v := 100 + i
+			bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, v)) }
+		}
+		adv := sched.NewPlan(sched.NewRandom(seed)).
+			CrashAfterProcSteps(0, 8).
+			CrashAfterProcSteps(1, 14).
+			CrashAfterProcSteps(2, 20)
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 1 << 20}, bodies)
+		// A victim may decide before its crash point fires, so at least the
+		// three guaranteed survivors must decide, all on one value.
+		if err != nil || res.BudgetExhausted || res.NumDecided() < 3 || res.DistinctDecided() != 1 {
+			boosted = false
+		}
+	}
+
+	return []Row{
+		{
+			Experiment: "E13 Ω boosting (§1.3)",
+			Setting:    fmt.Sprintf("n=%d, n-1 initially dead, 6 seeds", n),
+			Claim:      "registers + Ω solve consensus wait-free",
+			Measured:   measured(waitFree, "lone survivor decided every run", "violation"),
+			OK:         waitFree,
+		},
+		{
+			Experiment: "E13 Ω boosting (§1.3)",
+			Setting:    "leader crashed mid-round",
+			Claim:      "new leader completes; agreement preserved",
+			Measured:   measured(leaderCrash, "survivors agreed on one proposal", "violation"),
+			OK:         leaderCrash,
+		},
+		{
+			Experiment: "E13 Ωx boosting (§1.3)",
+			Setting:    "n=6 x=3, dead-minimum leader window, 6 seeds",
+			Claim:      "x-consensus + Ωx solve n-consensus (iterated GK boost)",
+			Measured:   measured(boosted, "survivors agreed despite dead window minimum", "violation"),
+			OK:         boosted,
+		},
+	}
+}
+
+// E14MLSetAgreement checks the Herlihy-Rajsbaum threshold cited in §1.3:
+// k-set agreement is solvable t-resiliently from (m, ℓ)-set objects for
+// k = ℓ·⌊(t+1)/m⌋ + min(ℓ, (t+1) mod m), with adversarial objects that
+// maximize disagreement.
+func E14MLSetAgreement() []Row {
+	ok := true
+	settings := []struct{ n, t, m, l int }{
+		{6, 3, 2, 1}, {7, 4, 3, 2}, {6, 3, 2, 2}, {5, 2, 5, 2},
+	}
+	for _, s := range settings {
+		k := algorithms.MLKSetBound(s.t, s.m, s.l)
+		inputs := tasks.DistinctInputs(s.n)
+		for seed := int64(0); seed < 5; seed++ {
+			res, err := algorithms.RunMLKSet(inputs, s.t, s.m, s.l, sched.Config{Seed: seed})
+			if err != nil || res.NumDecided() != s.n || res.DistinctDecided() > k {
+				ok = false
+			}
+		}
+	}
+	return []Row{{
+		Experiment: "E14 (m,l)-set objects (§1.3)",
+		Setting:    "4 parameterizations, 5 seeds each, adversarial objects",
+		Claim:      "k-set solvable for k = l*⌊(t+1)/m⌋ + min(l, (t+1) mod m)",
+		Measured:   measured(ok, "distinct decisions within the threshold", "violation"),
+		OK:         ok,
+	}}
+}
+
+// E15ImmediateSnapshot checks the Borowsky-Gafni one-shot immediate snapshot
+// (the combinatorial primitive of BG-style arguments): self-inclusion,
+// containment and immediacy across seeds and crash patterns.
+func E15ImmediateSnapshot() []Row {
+	ok := true
+	for _, n := range []int{2, 3, 4} {
+		for seed := int64(0); seed < 6; seed++ {
+			is := snapshot.NewImmediate[int]("is", n)
+			views := make([]snapshot.View[int], n)
+			done := make([]bool, n)
+			bodies := make([]sched.Proc, n)
+			for i := range bodies {
+				i := i
+				bodies[i] = func(e *sched.Env) {
+					views[i] = is.WriteSnapshot(e, 100+i)
+					done[i] = true
+					e.Decide(0)
+				}
+			}
+			adv := sched.NewPlan(sched.NewRandom(seed)).
+				CrashAfterProcSteps(0, int(seed%5)+1)
+			res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 50000}, bodies)
+			if err != nil || res.BudgetExhausted {
+				ok = false
+				continue
+			}
+			for i := range views {
+				if !done[i] {
+					continue
+				}
+				if !views[i].Contains(i) {
+					ok = false
+				}
+				for _, p := range views[i].Procs {
+					if done[p] && !views[p].Subset(views[i]) {
+						ok = false
+					}
+				}
+				for j := i + 1; j < n; j++ {
+					if done[j] && !views[i].Subset(views[j]) && !views[j].Subset(views[i]) {
+						ok = false
+					}
+				}
+			}
+		}
+	}
+	return []Row{{
+		Experiment: "E15 immediate snapshot",
+		Setting:    "n in {2,3,4}, 6 seeds each, 1 crash",
+		Claim:      "self-inclusion + containment + immediacy (BG primitive)",
+		Measured:   measured(ok, "all views ordered and immediate", "violation"),
+		OK:         ok,
+	}}
+}

@@ -1,0 +1,182 @@
+// Package explore performs stateless model checking over the sched runtime:
+// it enumerates every schedule (and, optionally, every crash placement) of a
+// small configuration and checks a property on each complete run. Because
+// runs are deterministic functions of the adversary's decision sequence, the
+// state space is the tree of decision sequences, explored by replaying runs
+// from scratch with an incremented decision prefix (classic stateless DFS).
+//
+// This turns the seed-sweep tests of this repository into exhaustive proofs
+// for bounded configurations: e.g. safe_agreement's safety holds on *every*
+// schedule of 2 proposers with at most one crash, not just the sampled ones.
+//
+// Keep configurations tiny — the tree grows as (runnable + crashes)^steps.
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"mpcn/internal/sched"
+)
+
+// Config bounds an exploration.
+type Config struct {
+	// MaxCrashes bounds the crashes injected per run (0 = crash-free).
+	MaxCrashes int
+	// MaxSteps bounds each run; runs hitting it are reported to the checker
+	// with BudgetExhausted set (a livelock-ish schedule, not an error).
+	MaxSteps int
+	// MaxRuns aborts the exploration after this many runs (0 = unlimited).
+	// An aborted exploration returns Stats.Exhausted == false.
+	MaxRuns int
+}
+
+// Stats summarizes an exploration.
+type Stats struct {
+	// Runs is the number of complete runs executed.
+	Runs int
+	// Exhausted reports whether the whole decision tree was covered.
+	Exhausted bool
+	// MaxDepth is the deepest decision sequence encountered.
+	MaxDepth int
+}
+
+// choiceKind distinguishes run from crash decisions.
+type choiceKind int
+
+const (
+	choiceRun choiceKind = iota + 1
+	choiceCrash
+)
+
+// choice is one alternative at a decision point.
+type choice struct {
+	kind choiceKind
+	id   sched.ProcID
+}
+
+func (c choice) String() string {
+	if c.kind == choiceCrash {
+		return fmt.Sprintf("crash(%d)", c.id)
+	}
+	return fmt.Sprintf("run(%d)", c.id)
+}
+
+// scripted is the exploring adversary: it follows a prescribed prefix of
+// alternative indices and takes the first alternative beyond it, recording
+// the branching structure for backtracking.
+type scripted struct {
+	prefix     []int
+	maxCrashes int
+
+	crashes   int
+	taken     []int
+	altCounts []int
+	choices   []choice
+}
+
+var _ sched.Adversary = (*scripted)(nil)
+
+func (s *scripted) alternatives(v sched.View) []choice {
+	alts := make([]choice, 0, 2*len(v.Runnable))
+	for _, id := range v.Runnable {
+		alts = append(alts, choice{kind: choiceRun, id: id})
+	}
+	if s.crashes < s.maxCrashes {
+		for _, id := range v.Runnable {
+			alts = append(alts, choice{kind: choiceCrash, id: id})
+		}
+	}
+	return alts
+}
+
+// Next implements sched.Adversary.
+func (s *scripted) Next(v sched.View) sched.Decision {
+	alts := s.alternatives(v)
+	idx := 0
+	if d := len(s.taken); d < len(s.prefix) {
+		idx = s.prefix[d]
+	}
+	if idx >= len(alts) {
+		// The tree shape shifted under a stale prefix: impossible when runs
+		// are deterministic; guard against checker-visible corruption.
+		panic(fmt.Sprintf("explore: prefix index %d out of %d alternatives", idx, len(alts)))
+	}
+	s.altCounts = append(s.altCounts, len(alts))
+	s.taken = append(s.taken, idx)
+	c := alts[idx]
+	s.choices = append(s.choices, c)
+	if c.kind == choiceCrash {
+		s.crashes++
+		return sched.Decision{Run: -1, Crash: []sched.ProcID{c.id}}
+	}
+	return sched.Decision{Run: c.id}
+}
+
+// PropertyError wraps a property violation with the decision script that
+// produced it, so the failing schedule can be replayed.
+type PropertyError struct {
+	Script []string
+	Err    error
+}
+
+// Error implements error.
+func (e *PropertyError) Error() string {
+	return fmt.Sprintf("explore: property violated on schedule %v: %v", e.Script, e.Err)
+}
+
+// Unwrap exposes the property's error.
+func (e *PropertyError) Unwrap() error { return e.Err }
+
+// ErrRunFailed reports that the runtime itself rejected a run (a body panic
+// or adversary misbehaviour), which exploration treats as fatal.
+var ErrRunFailed = errors.New("explore: run failed")
+
+// Explore enumerates the decision tree of the processes returned by mk
+// (fresh shared state per run) and applies check to every complete run. It
+// stops at the first property violation.
+func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config) (Stats, error) {
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 4096
+	}
+	var stats Stats
+	prefix := []int{}
+	for {
+		adv := &scripted{prefix: prefix, maxCrashes: cfg.MaxCrashes}
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: cfg.MaxSteps}, mk())
+		if err != nil {
+			return stats, fmt.Errorf("%w: %v (schedule %v)", ErrRunFailed, err, scriptOf(adv))
+		}
+		stats.Runs++
+		if d := len(adv.taken); d > stats.MaxDepth {
+			stats.MaxDepth = d
+		}
+		if cerr := check(res); cerr != nil {
+			return stats, &PropertyError{Script: scriptOf(adv), Err: cerr}
+		}
+
+		// Backtrack: bump the deepest decision with an untried alternative.
+		d := len(adv.taken) - 1
+		for d >= 0 && adv.taken[d]+1 >= adv.altCounts[d] {
+			d--
+		}
+		if d < 0 {
+			stats.Exhausted = true
+			return stats, nil
+		}
+		prefix = append(prefix[:0], adv.taken[:d]...)
+		prefix = append(prefix, adv.taken[d]+1)
+
+		if cfg.MaxRuns > 0 && stats.Runs >= cfg.MaxRuns {
+			return stats, nil
+		}
+	}
+}
+
+func scriptOf(adv *scripted) []string {
+	out := make([]string, len(adv.choices))
+	for i, c := range adv.choices {
+		out[i] = c.String()
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+// Package hierarchy implements the classic consensus-number constructions
+// that the paper's model rests on (§1.1 and footnote 1): consensus for two
+// processes from test&set or a queue, consensus for any number of processes
+// from compare&swap, and test&set from an object of consensus number x ≥ 2
+// (Gafni, Raynal & Travers 2007 [19], used by the x_compete operation of
+// §4.3 when the simulators' base objects are x-consensus objects).
+package hierarchy
+
+import (
+	"fmt"
+	"math"
+
+	"mpcn/internal/object"
+	"mpcn/internal/reg"
+	"mpcn/internal/sched"
+)
+
+// Consensus is a one-shot consensus protocol: every correct invoker returns
+// the same value, which was proposed by some invoker.
+type Consensus interface {
+	Propose(e *sched.Env, v any) any
+}
+
+// Infinity is the conventional representation of consensus number ∞.
+const Infinity = math.MaxInt
+
+// Number returns the consensus number of the named base object kind, per
+// Herlihy's hierarchy (§1.1 of the paper).
+func Number(kind string) (int, error) {
+	switch kind {
+	case "register", "snapshot":
+		return 1, nil
+	case "test&set", "queue", "stack":
+		return 2, nil
+	case "compare&swap":
+		return Infinity, nil
+	default:
+		return 0, fmt.Errorf("hierarchy: unknown object kind %q", kind)
+	}
+}
+
+// pairSide maps a process to its side of a two-process protocol.
+func pairSide(name string, p0, p1 sched.ProcID, id sched.ProcID) int {
+	switch id {
+	case p0:
+		return 0
+	case p1:
+		return 1
+	default:
+		panic(fmt.Sprintf("hierarchy: process %d is not a party of %s", id, name))
+	}
+}
+
+// FromTAS is two-process consensus from one test&set object and two
+// registers: each party writes its proposal, the test&set winner decides its
+// own value, the loser decides the winner's.
+type FromTAS struct {
+	name   string
+	p0, p1 sched.ProcID
+	vals   *reg.Array[any]
+	ts     *object.TestAndSet
+}
+
+var _ Consensus = (*FromTAS)(nil)
+
+// NewFromTAS returns a two-process consensus protocol between p0 and p1.
+func NewFromTAS(name string, p0, p1 sched.ProcID) *FromTAS {
+	return &FromTAS{
+		name: name, p0: p0, p1: p1,
+		vals: reg.NewArray[any](name+".vals", 2),
+		ts:   object.NewTestAndSet(name + ".ts"),
+	}
+}
+
+// Propose implements Consensus.
+func (c *FromTAS) Propose(e *sched.Env, v any) any {
+	side := pairSide(c.name, c.p0, c.p1, e.ID())
+	c.vals.Write(e, side, v)
+	if c.ts.TestAndSet(e) {
+		return v
+	}
+	// Losing implies the winner completed its test&set, which followed the
+	// winner's value write: the read below cannot miss it.
+	return c.vals.Read(e, 1-side)
+}
+
+// FromQueue is two-process consensus from a queue initialized with a single
+// token: the dequeuer of the token wins.
+type FromQueue struct {
+	name   string
+	p0, p1 sched.ProcID
+	vals   *reg.Array[any]
+	q      *object.Queue[string]
+}
+
+var _ Consensus = (*FromQueue)(nil)
+
+// NewFromQueue returns a two-process consensus protocol between p0 and p1.
+func NewFromQueue(name string, p0, p1 sched.ProcID) *FromQueue {
+	return &FromQueue{
+		name: name, p0: p0, p1: p1,
+		vals: reg.NewArray[any](name+".vals", 2),
+		q:    object.NewQueue(name+".q", "token"),
+	}
+}
+
+// Propose implements Consensus.
+func (c *FromQueue) Propose(e *sched.Env, v any) any {
+	side := pairSide(c.name, c.p0, c.p1, e.ID())
+	c.vals.Write(e, side, v)
+	if _, ok := c.q.Dequeue(e); ok {
+		return v
+	}
+	return c.vals.Read(e, 1-side)
+}
+
+// FromCAS is n-process consensus from one compare&swap register: proposals
+// are announced in per-process registers and the CAS race elects the winner
+// index. Its consensus number is unbounded.
+type FromCAS struct {
+	name     string
+	announce *reg.Array[any]
+	cas      *object.CompareAndSwap[int]
+}
+
+var _ Consensus = (*FromCAS)(nil)
+
+// NewFromCAS returns an n-process consensus protocol for processes 0..n-1.
+func NewFromCAS(name string, n int) *FromCAS {
+	return &FromCAS{
+		name:     name,
+		announce: reg.NewArray[any](name+".announce", n),
+		cas:      object.NewCompareAndSwap(name+".cas", -1),
+	}
+}
+
+// Propose implements Consensus.
+func (c *FromCAS) Propose(e *sched.Env, v any) any {
+	me := int(e.ID())
+	c.announce.Write(e, me, v)
+	c.cas.CompareAndSwap(e, -1, me)
+	winner := c.cas.Read(e)
+	return c.announce.Read(e, winner)
+}
+
+// FromXConsensus adapts an x-ported consensus object to the Consensus
+// interface, for protocols parameterized over a consensus source.
+type FromXConsensus struct {
+	obj *object.XConsensus
+}
+
+var _ Consensus = (*FromXConsensus)(nil)
+
+// NewFromXConsensus wraps obj.
+func NewFromXConsensus(obj *object.XConsensus) *FromXConsensus {
+	return &FromXConsensus{obj: obj}
+}
+
+// Propose implements Consensus.
+func (c *FromXConsensus) Propose(e *sched.Env, v any) any {
+	return c.obj.Propose(e, v)
+}
+
+// TASFromConsensus is a one-shot test&set built from a consensus protocol
+// (the [19] construction the paper invokes in §4.3: "test&set objects ...
+// can be implemented from consensus number x objects"). The consensus
+// decides the winner's process ID.
+type TASFromConsensus struct {
+	cons Consensus
+}
+
+// NewTASFromConsensus returns a test&set over cons. The underlying consensus
+// must admit every process that will invoke TestAndSet.
+func NewTASFromConsensus(cons Consensus) *TASFromConsensus {
+	return &TASFromConsensus{cons: cons}
+}
+
+// TestAndSet reports whether the caller won. Each process may call it at
+// most once (the underlying consensus is one-shot).
+func (t *TASFromConsensus) TestAndSet(e *sched.Env) bool {
+	winner := t.cons.Propose(e, e.ID())
+	return winner == e.ID()
+}

@@ -1,0 +1,178 @@
+package hierarchy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/object"
+	"mpcn/internal/sched"
+)
+
+// checkTwoProcConsensus runs both parties proposing distinct values under
+// the given seed and verifies agreement + validity.
+func checkTwoProcConsensus(t *testing.T, mk func() Consensus, seed int64) {
+	t.Helper()
+	cons := mk()
+	bodies := []sched.Proc{
+		func(e *sched.Env) { e.Decide(cons.Propose(e, 100)) },
+		func(e *sched.Env) { e.Decide(cons.Propose(e, 200)) },
+	}
+	res, err := sched.Run(sched.Config{Seed: seed}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumDecided() != 2 {
+		t.Fatalf("decided %d of 2", res.NumDecided())
+	}
+	if res.DistinctDecided() != 1 {
+		t.Fatalf("disagreement: %v", res.DecidedValues())
+	}
+	v := res.Outcomes[0].Value
+	if v != 100 && v != 200 {
+		t.Fatalf("decided %v, not a proposed value", v)
+	}
+}
+
+func TestFromTASAgreement(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		checkTwoProcConsensus(t, func() Consensus { return NewFromTAS("c", 0, 1) }, seed)
+	}
+}
+
+func TestFromQueueAgreement(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		checkTwoProcConsensus(t, func() Consensus { return NewFromQueue("c", 0, 1) }, seed)
+	}
+}
+
+func TestFromTASSoloRun(t *testing.T) {
+	// Wait-freedom: a party running alone (the other initially dead) decides
+	// its own value.
+	cons := NewFromTAS("c", 0, 1)
+	bodies := []sched.Proc{
+		func(e *sched.Env) { e.Decide(cons.Propose(e, 100)) },
+		func(e *sched.Env) { e.Decide(cons.Propose(e, 200)) },
+	}
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 1)
+	res, err := sched.Run(sched.Config{Adversary: adv}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcomes[0].Decided || res.Outcomes[0].Value != 100 {
+		t.Fatalf("solo proposer outcome: %+v", res.Outcomes[0])
+	}
+}
+
+func TestFromTASForeignProcessPanics(t *testing.T) {
+	cons := NewFromTAS("c", 0, 1)
+	bodies := []sched.Proc{
+		func(e *sched.Env) { e.Decide(0) },
+		func(e *sched.Env) { e.Decide(0) },
+		func(e *sched.Env) { cons.Propose(e, 1) },
+	}
+	if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+		t.Fatal("foreign party must be rejected")
+	}
+}
+
+func TestFromCASAgreementAnyN(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%7) + 1
+		cons := NewFromCAS("c", n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, i)) }
+		}
+		res, err := sched.Run(sched.Config{Seed: seed}, bodies)
+		if err != nil {
+			return false
+		}
+		if res.NumDecided() != n || res.DistinctDecided() != 1 {
+			return false
+		}
+		v, ok := res.Outcomes[0].Value.(int)
+		return ok && v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromCASCrashResilience(t *testing.T) {
+	// Consensus from CAS is wait-free for any n: with all but one process
+	// initially dead, the survivor decides.
+	const n = 5
+	cons := NewFromCAS("c", n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, i)) }
+	}
+	adv := sched.NewCrashSet(sched.NewRoundRobin(), 0, 1, 2, 3)
+	res, err := sched.Run(sched.Config{Adversary: adv}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Outcomes[4].Decided || res.Outcomes[4].Value != 4 {
+		t.Fatalf("survivor outcome: %+v", res.Outcomes[4])
+	}
+}
+
+func TestFromXConsensusAdapter(t *testing.T) {
+	obj := object.NewXConsensus("xc", 3, nil)
+	cons := NewFromXConsensus(obj)
+	bodies := make([]sched.Proc, 3)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) { e.Decide(cons.Propose(e, i)) }
+	}
+	res, err := sched.Run(sched.Config{Seed: 3}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DistinctDecided() != 1 {
+		t.Fatalf("disagreement: %v", res.DecidedValues())
+	}
+}
+
+func TestTASFromConsensusSingleWinner(t *testing.T) {
+	f := func(seed int64, rawX uint8) bool {
+		x := int(rawX%5) + 2
+		tas := NewTASFromConsensus(NewFromXConsensus(object.NewXConsensus("xc", x, nil)))
+		winners := 0
+		bodies := make([]sched.Proc, x)
+		for i := range bodies {
+			bodies[i] = func(e *sched.Env) {
+				if tas.TestAndSet(e) {
+					winners++
+				}
+				e.Decide(0)
+			}
+		}
+		if _, err := sched.Run(sched.Config{Seed: seed}, bodies); err != nil {
+			return false
+		}
+		return winners == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNumber(t *testing.T) {
+	cases := map[string]int{
+		"register": 1, "snapshot": 1,
+		"test&set": 2, "queue": 2, "stack": 2,
+		"compare&swap": Infinity,
+	}
+	for kind, want := range cases {
+		got, err := Number(kind)
+		if err != nil || got != want {
+			t.Errorf("Number(%q) = %d, %v; want %d", kind, got, err, want)
+		}
+	}
+	if _, err := Number("flux-capacitor"); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,95 @@
+// Package mathx provides the small combinatorial helpers the simulations
+// need: floor division as used in the paper's ⌊t/x⌋ arithmetic and
+// enumeration of the C(n, x) size-x subsets backing the SET_LIST array of the
+// x_safe_agreement construction (Imbs & Raynal 2010, §4.3).
+package mathx
+
+import "fmt"
+
+// FloorDiv returns ⌊a/b⌋ for non-negative a and positive b.
+func FloorDiv(a, b int) int {
+	if a < 0 || b <= 0 {
+		panic(fmt.Sprintf("mathx: FloorDiv(%d, %d) out of domain", a, b))
+	}
+	return a / b
+}
+
+// Binomial returns C(n, k), the number of size-k subsets of an n-set. It
+// panics on negative arguments and returns 0 when k > n.
+func Binomial(n, k int) int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("mathx: Binomial(%d, %d) out of domain", n, k))
+	}
+	if k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+	}
+	return c
+}
+
+// Subsets enumerates all size-k subsets of {0, ..., n-1} in lexicographic
+// order. This fixed order is load-bearing: every owner of an
+// x_safe_agreement object must scan SET_LIST in the very same order (paper,
+// §4.3). The result has Binomial(n, k) entries.
+func Subsets(n, k int) [][]int {
+	if n < 0 || k < 0 {
+		panic(fmt.Sprintf("mathx: Subsets(%d, %d) out of domain", n, k))
+	}
+	if k > n {
+		return nil
+	}
+	var out [][]int
+	cur := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(cur) == k {
+			s := make([]int, k)
+			copy(s, cur)
+			out = append(out, s)
+			return
+		}
+		// Prune: not enough elements left to complete the subset.
+		for i := start; i <= n-(k-len(cur)); i++ {
+			cur = append(cur, i)
+			rec(i + 1)
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Contains reports whether sorted subset s contains v.
+func Contains(s []int, v int) bool {
+	for _, e := range s {
+		if e == v {
+			return true
+		}
+		if e > v {
+			return false
+		}
+	}
+	return false
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

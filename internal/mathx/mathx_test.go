@@ -1,0 +1,124 @@
+package mathx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFloorDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {8, 1, 8}, {8, 2, 4}, {8, 3, 2}, {8, 4, 2},
+		{8, 5, 1}, {8, 8, 1}, {8, 9, 0}, {7, 3, 2},
+	}
+	for _, c := range cases {
+		if got := FloorDiv(c.a, c.b); got != c.want {
+			t.Errorf("FloorDiv(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestFloorDivPanics(t *testing.T) {
+	for _, c := range []struct{ a, b int }{{-1, 2}, {3, 0}, {3, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FloorDiv(%d, %d) should panic", c.a, c.b)
+				}
+			}()
+			FloorDiv(c.a, c.b)
+		}()
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct{ n, k, want int }{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10},
+		{10, 3, 120}, {10, 7, 120}, {4, 5, 0}, {20, 10, 184756},
+	}
+	for _, c := range cases {
+		if got := Binomial(c.n, c.k); got != c.want {
+			t.Errorf("Binomial(%d, %d) = %d, want %d", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestSubsets(t *testing.T) {
+	got := Subsets(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != 2 || got[i][0] != want[i][0] || got[i][1] != want[i][1] {
+			t.Fatalf("Subsets(4,2)[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSubsetsEdge(t *testing.T) {
+	if got := Subsets(3, 0); len(got) != 1 || len(got[0]) != 0 {
+		t.Errorf("Subsets(3, 0) = %v, want one empty subset", got)
+	}
+	if got := Subsets(2, 3); got != nil {
+		t.Errorf("Subsets(2, 3) = %v, want nil", got)
+	}
+	if got := Subsets(3, 3); len(got) != 1 {
+		t.Errorf("Subsets(3, 3) = %v, want single full subset", got)
+	}
+}
+
+// TestQuickSubsetsCount cross-checks Subsets against Binomial and verifies
+// lexicographic order and strict monotonicity inside each subset.
+func TestQuickSubsetsCount(t *testing.T) {
+	f := func(rawN, rawK uint8) bool {
+		n := int(rawN % 9)
+		k := int(rawK % 9)
+		subs := Subsets(n, k)
+		if len(subs) != Binomial(n, k) {
+			return false
+		}
+		for i, s := range subs {
+			for j := 1; j < len(s); j++ {
+				if s[j] <= s[j-1] {
+					return false
+				}
+			}
+			if i > 0 && !lexLess(subs[i-1], s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func TestContains(t *testing.T) {
+	s := []int{1, 3, 5}
+	for _, v := range []int{1, 3, 5} {
+		if !Contains(s, v) {
+			t.Errorf("Contains(%v, %d) = false", s, v)
+		}
+	}
+	for _, v := range []int{0, 2, 4, 6} {
+		if Contains(s, v) {
+			t.Errorf("Contains(%v, %d) = true", s, v)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 || Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Fatal("Min/Max broken")
+	}
+}

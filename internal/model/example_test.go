@@ -1,0 +1,44 @@
+package model_test
+
+import (
+	"fmt"
+
+	"mpcn/internal/model"
+)
+
+// The multiplicative power of consensus numbers: ASM(n, t', x) is equivalent
+// to ASM(n, t, 1) exactly for t' in [t·x, t·x + x - 1].
+func ExampleEquivalentRange() {
+	lo, hi := model.EquivalentRange(2, 3)
+	fmt.Printf("ASM(n,t',3) ≃ ASM(n,2,1) iff %d <= t' <= %d\n", lo, hi)
+	// Output:
+	// ASM(n,t',3) ≃ ASM(n,2,1) iff 6 <= t' <= 8
+}
+
+// The §5.4 worked example: for t' = 8 the models ASM(n, 8, x) fall into five
+// classes.
+func ExampleClasses() {
+	classes, err := model.Classes(10, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, c := range classes {
+		fmt.Printf("level %d: x=%v -> %v\n", c.Level, c.Xs, c.Canonical)
+	}
+	// Output:
+	// level 0: x=[10 9] -> ASM(10,0,1)
+	// level 1: x=[8 7 6 5] -> ASM(10,1,1)
+	// level 2: x=[4 3] -> ASM(10,2,1)
+	// level 4: x=[2] -> ASM(10,4,1)
+	// level 8: x=[1] -> ASM(10,8,1)
+}
+
+// A task of set consensus number k is solvable in ASM(n, t, x) iff
+// k > ⌊t/x⌋.
+func ExampleASM_SolvesKSet() {
+	m := model.ASM{N: 10, T: 8, X: 3}
+	fmt.Println(m.Level(), m.SolvesKSet(2), m.SolvesKSet(3))
+	// Output:
+	// 2 false true
+}

@@ -1,0 +1,194 @@
+// Package model implements the ASM(n, t, x) model algebra of Section 5: the
+// ⌊t/x⌋ level that characterizes colorless computability, model equivalence,
+// canonical forms, the equivalence-class partition of §5.4, the induced
+// hierarchy of system models, and the applicability conditions of the three
+// simulations (§3, §4, §5.5).
+package model
+
+import (
+	"fmt"
+
+	"mpcn/internal/mathx"
+)
+
+// ASM is the system model ASM(n, t, x): n asynchronous processes, at most t
+// crashes, shared read/write snapshot memory plus objects of consensus
+// number x (each accessible by at most x statically-chosen processes).
+type ASM struct {
+	N int
+	T int
+	X int
+}
+
+// New validates and returns ASM(n, t, x). The paper assumes 1 <= t < n and
+// 1 <= x <= n; t = 0 (the failure-free model, used as the canonical class
+// representative ASM(n, 0, 1) in §1.2) is also accepted.
+func New(n, t, x int) (ASM, error) {
+	m := ASM{N: n, T: t, X: x}
+	return m, m.Validate()
+}
+
+// Validate reports whether the parameters are within the model's domain.
+func (m ASM) Validate() error {
+	if m.N < 1 {
+		return fmt.Errorf("model: n must be >= 1, got %d", m.N)
+	}
+	if m.T < 0 || m.T >= m.N {
+		return fmt.Errorf("model: t must satisfy 0 <= t < n, got t=%d n=%d", m.T, m.N)
+	}
+	if m.X < 1 || m.X > m.N {
+		return fmt.Errorf("model: x must satisfy 1 <= x <= n, got x=%d n=%d", m.X, m.N)
+	}
+	return nil
+}
+
+// String renders the model in the paper's notation.
+func (m ASM) String() string {
+	return fmt.Sprintf("ASM(%d,%d,%d)", m.N, m.T, m.X)
+}
+
+// Level returns ⌊t/x⌋, the quantity that fully characterizes the model's
+// colorless computability (main theorem).
+func (m ASM) Level() int {
+	return mathx.FloorDiv(m.T, m.X)
+}
+
+// Canonical returns the canonical representative of the model's equivalence
+// class, ASM(n, ⌊t/x⌋, 1) (§5.4: "ASM(n, t, 1) can be taken as the canonical
+// form representing all the models of that class").
+func (m ASM) Canonical() ASM {
+	return ASM{N: m.N, T: m.Level(), X: 1}
+}
+
+// Equivalent reports whether a and b solve exactly the same colorless
+// decision tasks: ⌊t1/x1⌋ = ⌊t2/x2⌋ (§5.3). The process counts may differ —
+// the BG simulation absorbs them.
+func Equivalent(a, b ASM) bool {
+	return a.Level() == b.Level()
+}
+
+// Stronger reports whether strictly more colorless tasks are solvable in a
+// than in b (the hierarchy of §5.4: lower level = stronger model).
+func Stronger(a, b ASM) bool {
+	return a.Level() < b.Level()
+}
+
+// SolvesKSet reports whether k-set agreement (and with it every task of set
+// consensus number k) is solvable in the model: k > ⌊t/x⌋ (§5.4: "Tk can be
+// solved in ASM(n, t, x) if and only if k > ⌊t/x⌋").
+func (m ASM) SolvesKSet(k int) bool {
+	return k > m.Level()
+}
+
+// SolvesConsensus reports whether consensus is solvable: level 0, i.e.
+// t < x ("when x > t, all tasks can be solved", §1.2).
+func (m ASM) SolvesConsensus() bool {
+	return m.SolvesKSet(1)
+}
+
+// EquivalentRange returns the t' interval for which ASM(n, t', x) is
+// equivalent to ASM(n, t, 1): t·x <= t' <= t·x + (x-1), the multiplicative
+// power of consensus numbers.
+func EquivalentRange(t, x int) (lo, hi int) {
+	if t < 0 || x < 1 {
+		panic(fmt.Sprintf("model: EquivalentRange(%d, %d) out of domain", t, x))
+	}
+	return t * x, t*x + (x - 1)
+}
+
+// Class is one equivalence class of the §5.4 partition: all ASM(n, t', x)
+// with x in Xs share Level and the canonical form Canonical.
+type Class struct {
+	Level     int
+	Xs        []int
+	Canonical ASM
+}
+
+// Classes partitions the models {ASM(n, tPrime, x) : 1 <= x <= n} by level,
+// strongest class first. With n >= tPrime+1 and tPrime = 8 it reproduces the
+// worked example of §5.4 (five classes).
+func Classes(n, tPrime int) ([]Class, error) {
+	if _, err := New(n, tPrime, 1); err != nil {
+		return nil, err
+	}
+	var out []Class
+	for x := n; x >= 1; x-- {
+		m := ASM{N: n, T: tPrime, X: x}
+		lvl := m.Level()
+		if len(out) == 0 || out[len(out)-1].Level != lvl {
+			out = append(out, Class{Level: lvl, Canonical: m.Canonical()})
+		}
+		c := &out[len(out)-1]
+		c.Xs = append(c.Xs, x)
+	}
+	return out, nil
+}
+
+// ForwardSimOK reports whether the Section 3 simulation applies: simulating
+// src = ASM(n, t', x) in dst = ASM(n, t, 1) requires t <= ⌊t'/x⌋ (and the
+// same process count, dst.X = 1).
+func ForwardSimOK(src, dst ASM) error {
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return err
+	}
+	if src.N != dst.N {
+		return fmt.Errorf("model: forward simulation keeps n fixed (%d vs %d)", src.N, dst.N)
+	}
+	if dst.X != 1 {
+		return fmt.Errorf("model: forward simulation targets a read/write model, got x=%d", dst.X)
+	}
+	if dst.T > src.Level() {
+		return fmt.Errorf("model: forward simulation of %v in %v requires t <= ⌊t'/x⌋ = %d, got t=%d",
+			src, dst, src.Level(), dst.T)
+	}
+	return nil
+}
+
+// ReverseSimOK reports whether the Section 4 simulation applies: simulating
+// src = ASM(n, t, 1) in dst = ASM(n, t', x) requires t >= ⌊t'/x⌋.
+func ReverseSimOK(src, dst ASM) error {
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return err
+	}
+	if src.N != dst.N {
+		return fmt.Errorf("model: reverse simulation keeps n fixed (%d vs %d)", src.N, dst.N)
+	}
+	if src.X != 1 {
+		return fmt.Errorf("model: reverse simulation simulates a read/write model, got x=%d", src.X)
+	}
+	if src.T < dst.Level() {
+		return fmt.Errorf("model: reverse simulation of %v in %v requires t >= ⌊t'/x⌋ = %d, got t=%d",
+			src, dst, dst.Level(), src.T)
+	}
+	return nil
+}
+
+// ColoredSimOK reports whether the §5.5 colored-task simulation applies:
+// simulating src = ASM(n, t, x) in dst = ASM(n', t', x') requires x' > 1,
+// ⌊t/x⌋ >= ⌊t'/x'⌋ and n >= max(n', (n'-t')+t).
+func ColoredSimOK(src, dst ASM) error {
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	if err := dst.Validate(); err != nil {
+		return err
+	}
+	if dst.X <= 1 {
+		return fmt.Errorf("model: colored simulation needs x' > 1, got %d", dst.X)
+	}
+	if src.Level() < dst.Level() {
+		return fmt.Errorf("model: colored simulation of %v in %v requires ⌊t/x⌋ >= ⌊t'/x'⌋ (%d < %d)",
+			src, dst, src.Level(), dst.Level())
+	}
+	if need := mathx.Max(dst.N, dst.N-dst.T+src.T); src.N < need {
+		return fmt.Errorf("model: colored simulation of %v in %v requires n >= %d, got %d",
+			src, dst, need, src.N)
+	}
+	return nil
+}

@@ -1,0 +1,267 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	valid := []struct{ n, tt, x int }{{1, 0, 1}, {5, 4, 5}, {10, 8, 3}, {3, 0, 3}}
+	for _, c := range valid {
+		if _, err := New(c.n, c.tt, c.x); err != nil {
+			t.Errorf("New(%d,%d,%d) rejected: %v", c.n, c.tt, c.x, err)
+		}
+	}
+	invalid := []struct{ n, tt, x int }{
+		{0, 0, 1}, {3, 3, 1}, {3, -1, 1}, {3, 1, 0}, {3, 1, 4},
+	}
+	for _, c := range invalid {
+		if _, err := New(c.n, c.tt, c.x); err == nil {
+			t.Errorf("New(%d,%d,%d) accepted", c.n, c.tt, c.x)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	m := ASM{N: 5, T: 2, X: 3}
+	if got := m.String(); got != "ASM(5,2,3)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestLevelAndCanonical(t *testing.T) {
+	cases := []struct {
+		m     ASM
+		level int
+	}{
+		{ASM{N: 10, T: 8, X: 1}, 8},
+		{ASM{N: 10, T: 8, X: 2}, 4},
+		{ASM{N: 10, T: 8, X: 3}, 2},
+		{ASM{N: 10, T: 8, X: 4}, 2},
+		{ASM{N: 10, T: 8, X: 5}, 1},
+		{ASM{N: 10, T: 8, X: 8}, 1},
+		{ASM{N: 10, T: 8, X: 9}, 0},
+		{ASM{N: 10, T: 0, X: 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.m.Level(); got != c.level {
+			t.Errorf("%v.Level() = %d, want %d", c.m, got, c.level)
+		}
+		canon := c.m.Canonical()
+		if canon.T != c.level || canon.X != 1 || canon.N != c.m.N {
+			t.Errorf("%v.Canonical() = %v", c.m, canon)
+		}
+	}
+}
+
+func TestEquivalentExamplesFromPaper(t *testing.T) {
+	// §1.2: ASM(n, n-1, n-1) ≃ ASM(n, 1, 1), and more generally
+	// ASM(n, t, t) ≃ ASM(n, 1, 1).
+	for n := 3; n <= 8; n++ {
+		a := ASM{N: n, T: n - 1, X: n - 1}
+		b := ASM{N: n, T: 1, X: 1}
+		if !Equivalent(a, b) {
+			t.Errorf("%v and %v should be equivalent", a, b)
+		}
+		for tt := 1; tt < n; tt++ {
+			if !Equivalent(ASM{N: n, T: tt, X: tt}, b) {
+				t.Errorf("ASM(%d,%d,%d) should be equivalent to %v", n, tt, tt, b)
+			}
+		}
+	}
+	// §1.2: ∀ t' < t, ASM(n, t', t) ≃ ASM(n, 0, 1).
+	const n, tt = 8, 5
+	for tp := 0; tp < tt; tp++ {
+		if !Equivalent(ASM{N: n, T: tp, X: tt}, ASM{N: n, T: 0, X: 1}) {
+			t.Errorf("ASM(%d,%d,%d) should equal failure-free model", n, tp, tt)
+		}
+	}
+}
+
+func TestEquivalentRange(t *testing.T) {
+	// ASM(n, t', x) ≃ ASM(n, t, 1) iff t·x <= t' <= t·x + x - 1.
+	lo, hi := EquivalentRange(2, 3)
+	if lo != 6 || hi != 8 {
+		t.Fatalf("EquivalentRange(2,3) = (%d,%d), want (6,8)", lo, hi)
+	}
+	for tp := 0; tp <= 12; tp++ {
+		want := tp >= lo && tp <= hi
+		got := Equivalent(ASM{N: 20, T: tp, X: 3}, ASM{N: 20, T: 2, X: 1})
+		if got != want {
+			t.Errorf("t'=%d: equivalence = %v, want %v", tp, got, want)
+		}
+	}
+}
+
+func TestEquivalentRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EquivalentRange(-1, 0) should panic")
+		}
+	}()
+	EquivalentRange(-1, 0)
+}
+
+// TestClasses54 reproduces the worked example of §5.4 for t' = 8: five
+// classes with levels 0, 1, 2, 4 and 8.
+func TestClasses54(t *testing.T) {
+	const n, tPrime = 20, 8
+	classes, err := Classes(n, tPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		level  int
+		xLo    int
+		xHi    int
+		canonT int
+	}
+	wants := []want{
+		{0, 9, n, 0}, // x in 9..n  ≃ ASM(n, 0, 1)
+		{1, 5, 8, 1}, // x in 5..8  ≃ ASM(n, 1, 1)
+		{2, 3, 4, 2}, // x in {3,4} ≃ ASM(n, 2, 1)
+		{4, 2, 2, 4}, // x = 2      ≃ ASM(n, 4, 1)
+		{8, 1, 1, 8}, // x = 1      ≃ ASM(n, 8, 1)
+	}
+	if len(classes) != len(wants) {
+		t.Fatalf("got %d classes, want %d: %+v", len(classes), len(wants), classes)
+	}
+	for i, w := range wants {
+		c := classes[i]
+		if c.Level != w.level {
+			t.Errorf("class %d level = %d, want %d", i, c.Level, w.level)
+		}
+		if c.Canonical.T != w.canonT || c.Canonical.X != 1 {
+			t.Errorf("class %d canonical = %v", i, c.Canonical)
+		}
+		if len(c.Xs) != w.xHi-w.xLo+1 {
+			t.Errorf("class %d has %d x-values %v, want %d", i, len(c.Xs), c.Xs, w.xHi-w.xLo+1)
+		}
+		for _, x := range c.Xs {
+			if x < w.xLo || x > w.xHi {
+				t.Errorf("class %d contains x=%d outside %d..%d", i, x, w.xLo, w.xHi)
+			}
+		}
+	}
+}
+
+func TestClassesInvalid(t *testing.T) {
+	if _, err := Classes(3, 3); err == nil {
+		t.Fatal("t' >= n accepted")
+	}
+}
+
+func TestSolvesKSetHierarchy(t *testing.T) {
+	// ASM(n, 3, 1) ≻ ASM(n, 4, 1): 4-set agreement solvable in the former,
+	// not the latter (§5.4).
+	a := ASM{N: 10, T: 3, X: 1}
+	b := ASM{N: 10, T: 4, X: 1}
+	if !a.SolvesKSet(4) || b.SolvesKSet(4) {
+		t.Fatal("4-set solvability wrong")
+	}
+	if !Stronger(a, b) || Stronger(b, a) {
+		t.Fatal("hierarchy comparison wrong")
+	}
+	// Tk solvable in ASM(n, t', x) iff t' <= k·x - 1 for fixed x (§1.2).
+	const k, x = 3, 2
+	for tp := 0; tp < 10; tp++ {
+		m := ASM{N: 12, T: tp, X: x}
+		want := tp <= k*x-1
+		if got := m.SolvesKSet(k); got != want {
+			t.Errorf("t'=%d: SolvesKSet(%d) = %v, want %v", tp, k, got, want)
+		}
+	}
+}
+
+func TestSolvesConsensus(t *testing.T) {
+	if !(ASM{N: 5, T: 2, X: 3}).SolvesConsensus() {
+		t.Error("x > t should solve consensus")
+	}
+	if (ASM{N: 5, T: 3, X: 3}).SolvesConsensus() {
+		t.Error("ASM(n, t, t) must not solve consensus (§1.2)")
+	}
+}
+
+func TestForwardSimOK(t *testing.T) {
+	src := ASM{N: 8, T: 6, X: 3} // level 2
+	if err := ForwardSimOK(src, ASM{N: 8, T: 2, X: 1}); err != nil {
+		t.Errorf("t = level rejected: %v", err)
+	}
+	if err := ForwardSimOK(src, ASM{N: 8, T: 1, X: 1}); err != nil {
+		t.Errorf("t < level rejected: %v", err)
+	}
+	if err := ForwardSimOK(src, ASM{N: 8, T: 3, X: 1}); err == nil {
+		t.Error("t > level accepted")
+	}
+	if err := ForwardSimOK(src, ASM{N: 7, T: 2, X: 1}); err == nil {
+		t.Error("n mismatch accepted")
+	}
+	if err := ForwardSimOK(src, ASM{N: 8, T: 2, X: 2}); err == nil {
+		t.Error("non-read/write target accepted")
+	}
+}
+
+func TestReverseSimOK(t *testing.T) {
+	dst := ASM{N: 8, T: 7, X: 3} // level 2
+	if err := ReverseSimOK(ASM{N: 8, T: 2, X: 1}, dst); err != nil {
+		t.Errorf("t = level rejected: %v", err)
+	}
+	if err := ReverseSimOK(ASM{N: 8, T: 3, X: 1}, dst); err != nil {
+		t.Errorf("t > level rejected: %v", err)
+	}
+	if err := ReverseSimOK(ASM{N: 8, T: 1, X: 1}, dst); err == nil {
+		t.Error("t < level accepted")
+	}
+	if err := ReverseSimOK(ASM{N: 8, T: 2, X: 2}, dst); err == nil {
+		t.Error("non-read/write source accepted")
+	}
+	if err := ReverseSimOK(ASM{N: 7, T: 2, X: 1}, dst); err == nil {
+		t.Error("n mismatch accepted")
+	}
+}
+
+func TestColoredSimOK(t *testing.T) {
+	src := ASM{N: 9, T: 4, X: 2} // level 2
+	dst := ASM{N: 7, T: 5, X: 2} // level 2
+	// n = 9 >= max(7, 7-5+4) = 7: OK.
+	if err := ColoredSimOK(src, dst); err != nil {
+		t.Errorf("valid colored sim rejected: %v", err)
+	}
+	if err := ColoredSimOK(src, ASM{N: 7, T: 5, X: 1}); err == nil {
+		t.Error("x' = 1 accepted")
+	}
+	if err := ColoredSimOK(ASM{N: 9, T: 1, X: 2}, dst); err == nil {
+		t.Error("level condition violated but accepted")
+	}
+	if err := ColoredSimOK(ASM{N: 6, T: 4, X: 2}, dst); err == nil {
+		t.Error("n condition violated but accepted")
+	}
+}
+
+// TestQuickEquivalenceIsCongruence: equivalence is reflexive, symmetric,
+// transitive, and exactly characterized by the t' interval.
+func TestQuickEquivalenceIsCongruence(t *testing.T) {
+	f := func(rawT1, rawX1, rawT2, rawX2 uint8) bool {
+		n := 40
+		t1, x1 := int(rawT1%20), int(rawX1%6)+1
+		t2, x2 := int(rawT2%20), int(rawX2%6)+1
+		a := ASM{N: n, T: t1, X: x1}
+		b := ASM{N: n, T: t2, X: x2}
+		if !Equivalent(a, a) || Equivalent(a, b) != Equivalent(b, a) {
+			return false
+		}
+		// Interval characterization: a ≃ canonical(level) iff T in range.
+		lo, hi := EquivalentRange(a.Level(), a.X)
+		if a.T < lo || a.T > hi {
+			return false
+		}
+		// Stronger is a strict weak order consistent with Equivalent.
+		if Equivalent(a, b) && (Stronger(a, b) || Stronger(b, a)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

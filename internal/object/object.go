@@ -1,0 +1,256 @@
+// Package object implements the shared objects of Herlihy's hierarchy used
+// by the ASM(n, t, x) model: test&set, queues, stacks and compare&swap as
+// consensus-number exhibits, x-ported consensus objects (the paper's
+// "objects with consensus number x"), and the (m, ℓ)-set agreement objects of
+// the related work (§1.3).
+//
+// Every operation is a single atomic step of the sched runtime. Objects that
+// the model restricts to x statically-chosen processes enforce their port
+// sets: accessing an x-ported object from an unregistered process panics,
+// because it is a programming error in the experiment, not a run-time
+// condition of the model.
+package object
+
+import (
+	"fmt"
+
+	"mpcn/internal/sched"
+)
+
+// ports guards an object whose access is restricted to a static set of
+// processes, as the paper requires for consensus-number-x objects.
+type ports struct {
+	name    string
+	allowed map[sched.ProcID]bool // nil means unrestricted
+}
+
+func newPorts(name string, ids []sched.ProcID, max int) ports {
+	if ids == nil {
+		return ports{name: name}
+	}
+	if len(ids) > max {
+		panic(fmt.Sprintf("object: %s declares %d ports, limit %d", name, len(ids), max))
+	}
+	m := make(map[sched.ProcID]bool, len(ids))
+	for _, id := range ids {
+		m[id] = true
+	}
+	return ports{name: name, allowed: m}
+}
+
+func (p *ports) check(id sched.ProcID) {
+	if p.allowed != nil && !p.allowed[id] {
+		panic(fmt.Sprintf("object: process %d is not a port of %s", id, p.name))
+	}
+}
+
+// TestAndSet is a one-shot test&set object (consensus number 2). The first
+// invocation returns true ("winner"); all later invocations return false.
+type TestAndSet struct {
+	name string
+	set  bool
+}
+
+// NewTestAndSet returns a fresh one-shot test&set object.
+func NewTestAndSet(name string) *TestAndSet {
+	return &TestAndSet{name: name}
+}
+
+// TestAndSet atomically sets the object and reports whether the caller won.
+func (t *TestAndSet) TestAndSet(e *sched.Env) bool {
+	e.Step(t.name + ".test&set")
+	if t.set {
+		return false
+	}
+	t.set = true
+	return true
+}
+
+// Queue is an atomic FIFO queue (consensus number 2).
+type Queue[T any] struct {
+	name  string
+	items []T
+}
+
+// NewQueue returns a queue initialized with the given items (front first).
+func NewQueue[T any](name string, init ...T) *Queue[T] {
+	items := make([]T, len(init))
+	copy(items, init)
+	return &Queue[T]{name: name, items: items}
+}
+
+// Enqueue atomically appends v.
+func (q *Queue[T]) Enqueue(e *sched.Env, v T) {
+	e.Step(q.name + ".enqueue")
+	q.items = append(q.items, v)
+}
+
+// Dequeue atomically removes and returns the front item; ok is false when
+// the queue is empty.
+func (q *Queue[T]) Dequeue(e *sched.Env) (v T, ok bool) {
+	e.Step(q.name + ".dequeue")
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Stack is an atomic LIFO stack (consensus number 2).
+type Stack[T any] struct {
+	name  string
+	items []T
+}
+
+// NewStack returns a stack initialized with the given items (bottom first).
+func NewStack[T any](name string, init ...T) *Stack[T] {
+	items := make([]T, len(init))
+	copy(items, init)
+	return &Stack[T]{name: name, items: items}
+}
+
+// Push atomically pushes v.
+func (s *Stack[T]) Push(e *sched.Env, v T) {
+	e.Step(s.name + ".push")
+	s.items = append(s.items, v)
+}
+
+// Pop atomically removes and returns the top item; ok is false when the
+// stack is empty.
+func (s *Stack[T]) Pop(e *sched.Env) (v T, ok bool) {
+	e.Step(s.name + ".pop")
+	if len(s.items) == 0 {
+		return v, false
+	}
+	v = s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return v, true
+}
+
+// CompareAndSwap is an atomic compare&swap register (consensus number ∞).
+type CompareAndSwap[T comparable] struct {
+	name string
+	v    T
+}
+
+// NewCompareAndSwap returns a CAS register initialized to init.
+func NewCompareAndSwap[T comparable](name string, init T) *CompareAndSwap[T] {
+	return &CompareAndSwap[T]{name: name, v: init}
+}
+
+// Read atomically reads the register.
+func (c *CompareAndSwap[T]) Read(e *sched.Env) T {
+	e.Step(c.name + ".read")
+	return c.v
+}
+
+// CompareAndSwap atomically replaces old with new and reports success.
+func (c *CompareAndSwap[T]) CompareAndSwap(e *sched.Env, old, new T) bool {
+	e.Step(c.name + ".cas")
+	if c.v != old {
+		return false
+	}
+	c.v = new
+	return true
+}
+
+// XConsensus is an object with consensus number x: a one-shot consensus
+// object accessible by at most x statically-declared processes (the paper's
+// x_cons objects, §2.3). Each port may propose at most once; the first
+// proposal to take a step wins.
+type XConsensus struct {
+	ports    ports
+	x        int
+	decided  bool
+	value    any
+	proposed map[sched.ProcID]bool
+}
+
+// NewXConsensus returns an x-ported consensus object. portIDs lists the
+// processes allowed to access it; nil leaves the object unrestricted (used
+// when port discipline is enforced by a higher layer, e.g. dynamically-owned
+// objects). len(portIDs) must not exceed x.
+func NewXConsensus(name string, x int, portIDs []sched.ProcID) *XConsensus {
+	if x < 1 {
+		panic(fmt.Sprintf("object: XConsensus %q needs x >= 1, got %d", name, x))
+	}
+	return &XConsensus{
+		ports:    newPorts(name, portIDs, x),
+		x:        x,
+		proposed: make(map[sched.ProcID]bool),
+	}
+}
+
+// X returns the object's consensus number (its port capacity).
+func (c *XConsensus) X() int { return c.x }
+
+// Propose proposes v and returns the object's decided value. It panics when
+// called from a non-port process or twice from the same process: both are
+// violations of the model's static-port, one-shot discipline.
+func (c *XConsensus) Propose(e *sched.Env, v any) any {
+	id := e.ID()
+	c.ports.check(id)
+	if c.proposed[id] {
+		panic(fmt.Sprintf("object: process %d proposed twice to %s", id, c.ports.name))
+	}
+	c.proposed[id] = true
+	if len(c.proposed) > c.x {
+		panic(fmt.Sprintf("object: %s accessed by %d processes, consensus number %d",
+			c.ports.name, len(c.proposed), c.x))
+	}
+	e.Step(c.ports.name + ".x_cons_propose")
+	if !c.decided {
+		c.decided = true
+		c.value = v
+	}
+	return c.value
+}
+
+// MLSetAgreement is an (m, ℓ)-set agreement object: it solves ℓ-set
+// agreement among at most m processes (§1.3). At most ℓ distinct values are
+// ever returned; each returned value was proposed.
+type MLSetAgreement struct {
+	ports   ports
+	m, l    int
+	decided []any
+	seen    map[sched.ProcID]bool
+}
+
+// NewMLSetAgreement returns an (m, l)-set agreement object restricted to
+// portIDs (nil = unrestricted, capacity still m).
+func NewMLSetAgreement(name string, m, l int, portIDs []sched.ProcID) *MLSetAgreement {
+	if m < 1 || l < 1 || l > m {
+		panic(fmt.Sprintf("object: MLSetAgreement %q needs 1 <= l <= m, got (%d, %d)", name, m, l))
+	}
+	return &MLSetAgreement{
+		ports: newPorts(name, portIDs, m),
+		m:     m,
+		l:     l,
+		seen:  make(map[sched.ProcID]bool),
+	}
+}
+
+// Propose proposes v and returns one of at most ℓ decided values. The object
+// adversarially maximizes disagreement: it keeps admitting new distinct
+// values until ℓ are decided.
+func (o *MLSetAgreement) Propose(e *sched.Env, v any) any {
+	id := e.ID()
+	o.ports.check(id)
+	if o.seen[id] {
+		panic(fmt.Sprintf("object: process %d proposed twice to %s", id, o.ports.name))
+	}
+	o.seen[id] = true
+	if len(o.seen) > o.m {
+		panic(fmt.Sprintf("object: %s accessed by %d processes, capacity %d",
+			o.ports.name, len(o.seen), o.m))
+	}
+	e.Step(o.ports.name + ".ml_propose")
+	if len(o.decided) < o.l {
+		o.decided = append(o.decided, v)
+		return v
+	}
+	// Spread returned values across the decided set to keep disagreement
+	// maximal while staying deterministic.
+	return o.decided[len(o.seen)%len(o.decided)]
+}

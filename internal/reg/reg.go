@@ -1,0 +1,91 @@
+// Package reg provides atomic read/write registers over the sched runtime.
+//
+// Registers are the consensus-number-1 base objects of the ASM(n, t, x)
+// model. Every operation marks exactly one linearization step via
+// sched.Env.Step, so the adversary schedules register accesses at the same
+// granularity the paper's model prescribes.
+package reg
+
+import (
+	"fmt"
+
+	"mpcn/internal/sched"
+)
+
+// Register is a multi-writer multi-reader atomic register holding a value of
+// type T. The zero value is not usable; construct with New or NewWith.
+type Register[T any] struct {
+	name string
+	v    T
+}
+
+// New returns a register named name holding the zero value of T.
+func New[T any](name string) *Register[T] {
+	return &Register[T]{name: name}
+}
+
+// NewWith returns a register named name initialized to init.
+func NewWith[T any](name string, init T) *Register[T] {
+	return &Register[T]{name: name, v: init}
+}
+
+// Read atomically reads the register.
+func (r *Register[T]) Read(e *sched.Env) T {
+	e.Step(r.name + ".read")
+	return r.v
+}
+
+// Write atomically writes v.
+func (r *Register[T]) Write(e *sched.Env, v T) {
+	e.Step(r.name + ".write")
+	r.v = v
+}
+
+// Array is an array of atomic registers sharing a common name prefix. Cell i
+// is addressed independently; each access is one atomic step.
+type Array[T any] struct {
+	name  string
+	cells []T
+}
+
+// NewArray returns an n-cell register array holding zero values.
+func NewArray[T any](name string, n int) *Array[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("reg: array %q must have positive size, got %d", name, n))
+	}
+	return &Array[T]{name: name, cells: make([]T, n)}
+}
+
+// NewArrayWith returns an n-cell register array with every cell set to init.
+func NewArrayWith[T any](name string, n int, init T) *Array[T] {
+	a := NewArray[T](name, n)
+	for i := range a.cells {
+		a.cells[i] = init
+	}
+	return a
+}
+
+// Len returns the number of cells.
+func (a *Array[T]) Len() int { return len(a.cells) }
+
+// Read atomically reads cell i.
+func (a *Array[T]) Read(e *sched.Env, i int) T {
+	e.Step(fmt.Sprintf("%s[%d].read", a.name, i))
+	return a.cells[i]
+}
+
+// Write atomically writes v to cell i.
+func (a *Array[T]) Write(e *sched.Env, i int, v T) {
+	e.Step(fmt.Sprintf("%s[%d].write", a.name, i))
+	a.cells[i] = v
+}
+
+// Collect reads every cell in index order (one step per cell, i.e. a
+// non-atomic read of the whole array) and returns a fresh slice.
+func (a *Array[T]) Collect(e *sched.Env) []T {
+	out := make([]T, len(a.cells))
+	for i := range a.cells {
+		out[i] = a.Read(e, i)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package sched
+
+import "fmt"
+
+// Env is the handle a simulated process uses to interact with the runtime.
+// One Env belongs to exactly one process; shared-object implementations
+// receive it as an explicit argument so each operation can mark its
+// linearization point.
+//
+// Env methods must only be called while the owning process holds the
+// scheduler token, i.e. from the process body or from code (such as a
+// coroutine thread) executing strictly on its behalf.
+type Env struct {
+	rt    *runtime
+	id    ProcID
+	n     int
+	grant chan grantMsg
+
+	decided  bool
+	decision any
+}
+
+// ID returns the process identifier (0-based).
+func (e *Env) ID() ProcID { return e.id }
+
+// N returns the number of processes in the run.
+func (e *Env) N() int { return e.n }
+
+// Step marks an atomic step of the process. The process parks, the adversary
+// observes label as the operation the process is about to execute, and when
+// the scheduler grants the step, Step returns and the caller performs the
+// operation. All code executed between two Step calls forms a single atomic
+// step of the model.
+//
+// Step panics with a private sentinel when the adversary crashes the process;
+// the runtime recovers it. See IsCrash.
+func (e *Env) Step(label string) {
+	e.rt.events <- event{id: e.id, kind: evPark, label: label}
+	g := <-e.grant
+	if g.crash {
+		panic(crashSentinel{id: e.id})
+	}
+}
+
+// Decide records the process's decision value. Deciding twice is a
+// programming error in the simulated algorithm and panics. The decision is
+// never undone, even if the process crashes afterwards.
+func (e *Env) Decide(v any) {
+	if e.decided {
+		panic("sched: process decided twice")
+	}
+	e.decided = true
+	e.decision = v
+}
+
+// Decided reports whether the process has decided.
+func (e *Env) Decided() bool { return e.decided }
+
+// Decision returns the decided value; meaningful only after Decide.
+func (e *Env) Decision() any { return e.decision }
+
+// Leader is an Ω failure-detector oracle (§1.3 of the paper: Ω = Ω1 is the
+// weakest failure detector for consensus): it returns the smallest live
+// process. Once no further crashes occur, every correct process is returned
+// the same correct leader forever — exactly Ω's eventual-leadership
+// property. Queries are local (no scheduler step); algorithms must still
+// take steps in their waiting loops.
+func (e *Env) Leader() ProcID {
+	for i, crashed := range e.rt.crashed {
+		if !crashed && e.rt.state[i] != stateDone {
+			return ProcID(i)
+		}
+	}
+	// Only the caller is left running (everyone else crashed or returned).
+	return e.id
+}
+
+// LeaderSet is an Ωx failure-detector oracle (§1.3: Ωx outputs at each
+// process a set of x processes such that eventually the same set is output
+// everywhere and contains at least one correct process). The returned window
+// is {s..s+x-1} with s = max(0, ℓ-x+1) where ℓ is the smallest live process:
+// it always contains ℓ, it stabilizes once crashes stop, and it is
+// *adversarially weak* — it may contain crashed processes and its minimum
+// may be crashed, so Ω1 cannot be derived by taking the set's minimum.
+// Queries are local (no scheduler step). x must be in 1..N().
+func (e *Env) LeaderSet(x int) []ProcID {
+	if x < 1 || x > e.n {
+		panic(fmt.Sprintf("sched: LeaderSet(%d) with %d processes", x, e.n))
+	}
+	leader := int(e.Leader())
+	s := leader - (x - 1)
+	if s < 0 {
+		s = 0
+	}
+	set := make([]ProcID, x)
+	for i := range set {
+		set[i] = ProcID(s + i)
+	}
+	return set
+}
+
+// StepCount returns the number of steps the process has executed so far.
+func (e *Env) StepCount() int { return e.rt.stepsOf[e.id] }
+
+// TotalSteps returns the number of steps scheduled so far across all
+// processes.
+func (e *Env) TotalSteps() int { return e.rt.steps }

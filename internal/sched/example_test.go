@@ -1,0 +1,31 @@
+package sched_test
+
+import (
+	"fmt"
+
+	"mpcn/internal/sched"
+)
+
+// Two processes race to write a shared cell; the adversary (seeded, hence
+// reproducible) decides the interleaving, and a crash schedule kills process
+// 1 before its write.
+func ExampleRun() {
+	shared := 0
+	body := func(v int) sched.Proc {
+		return func(e *sched.Env) {
+			e.Step("write")
+			shared = v
+			e.Decide(v)
+		}
+	}
+	adv := sched.NewPlan(sched.NewRoundRobin()).CrashOnLabel(1, "write", 1)
+	res, err := sched.Run(sched.Config{Adversary: adv}, []sched.Proc{body(10), body(20)})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("shared=%d decided=%d crashes=%d proc1=%v\n",
+		shared, res.NumDecided(), res.Crashes, res.Outcomes[1].Status)
+	// Output:
+	// shared=10 decided=1 crashes=1 proc1=crashed
+}

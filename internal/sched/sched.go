@@ -1,0 +1,492 @@
+// Package sched provides a deterministic single-runner scheduler for
+// simulating asynchronous crash-prone shared-memory computations.
+//
+// The package implements the execution substrate of the ASM(n, t, x) model of
+// Imbs & Raynal, "The Multiplicative Power of Consensus Numbers" (2010): a set
+// of n asynchronous sequential processes, each executing a sequence of atomic
+// steps, of which up to t may crash at arbitrary points chosen by an
+// adversary.
+//
+// Every simulated process runs on its own goroutine, but exactly one goroutine
+// executes at any time: a token is passed scheduler -> process -> scheduler
+// through channels, so runs are fully deterministic given the adversary (and
+// its seed). Shared objects mark their linearization points by calling
+// Env.Step(label); everything a process executes between two Step calls is a
+// single atomic step of the model. The adversary observes the label each
+// parked process is about to execute, which allows failure-injection tests to
+// crash a process "while it is inside" a specific operation, exactly as the
+// paper's lemmas require.
+//
+// Crashes are delivered as a private panic sentinel raised from inside Step;
+// the per-process wrapper recovers it. Code running under the scheduler must
+// therefore not recover blindly: use IsCrash to re-raise crash panics when a
+// framework (such as a coroutine scheduler) interposes its own recover.
+package sched
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ProcID identifies a simulated process. IDs are dense and start at 0.
+type ProcID int
+
+// Status describes the final state of a simulated process after a run.
+type Status int
+
+const (
+	// StatusDecided means the process decided a value and its body returned.
+	StatusDecided Status = iota + 1
+	// StatusHalted means the body returned without deciding.
+	StatusHalted
+	// StatusCrashed means the adversary crashed the process.
+	StatusCrashed
+	// StatusBlocked means the process was still live when the step budget was
+	// exhausted (it was reaped by the runtime, not crashed by the adversary).
+	StatusBlocked
+)
+
+// String returns a human-readable status name.
+func (s Status) String() string {
+	switch s {
+	case StatusDecided:
+		return "decided"
+	case StatusHalted:
+		return "halted"
+	case StatusCrashed:
+		return "crashed"
+	case StatusBlocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Proc is the body of a simulated process.
+type Proc func(e *Env)
+
+// DefaultMaxSteps bounds runs whose configuration leaves MaxSteps at zero.
+const DefaultMaxSteps = 1 << 21
+
+// StartLabel is the synthetic label every process is parked on before its
+// body begins. The grant of this pseudo-step is not counted in step totals;
+// adversaries observe it as the pending label of processes that have not yet
+// taken a real step.
+const StartLabel = "(start)"
+
+// Config parameterizes a run.
+type Config struct {
+	// Adversary chooses the interleaving and the crashes. When nil, a
+	// seeded Random adversary (no crashes) is used.
+	Adversary Adversary
+	// Seed seeds the default adversary when Adversary is nil.
+	Seed int64
+	// MaxSteps bounds the total number of scheduled steps; zero means
+	// DefaultMaxSteps. When the budget is exhausted the run stops and every
+	// live process is reported as StatusBlocked.
+	MaxSteps int
+	// MaxCrashes, when positive, makes the run fail with an error if the
+	// adversary crashes more than this many processes. It guards experiment
+	// code against adversaries that violate the model's resilience bound t.
+	MaxCrashes int
+	// TraceCapacity, when positive, records up to that many (proc, label)
+	// entries of the global schedule in the Result.
+	TraceCapacity int
+}
+
+// TraceEntry records one scheduled step.
+type TraceEntry struct {
+	Proc  ProcID
+	Label string
+}
+
+// Outcome is the per-process summary of a run.
+type Outcome struct {
+	// Status is the final lifecycle state.
+	Status Status
+	// Decided reports whether the process called Decide before the run ended
+	// (a process that decided and later crashed keeps Decided == true, as in
+	// the model: a written output is not undone by a subsequent crash).
+	Decided bool
+	// Value is the decided value; meaningful only when Decided is true.
+	Value any
+	// Steps is the number of steps the process executed.
+	Steps int
+	// LastLabel is the label of the last step the process was granted, or the
+	// label it was about to execute when it crashed or was reaped.
+	LastLabel string
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// Outcomes has one entry per process.
+	Outcomes []Outcome
+	// Steps is the total number of scheduled steps.
+	Steps int
+	// Crashes is the number of processes the adversary crashed.
+	Crashes int
+	// BudgetExhausted reports whether the run stopped on the step budget.
+	BudgetExhausted bool
+	// Trace is the recorded schedule prefix (empty unless requested).
+	Trace []TraceEntry
+}
+
+// NumDecided returns how many processes decided.
+func (r *Result) NumDecided() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Decided {
+			n++
+		}
+	}
+	return n
+}
+
+// DecidedValues returns the decided values in process order, skipping
+// processes that did not decide.
+func (r *Result) DecidedValues() []any {
+	vs := make([]any, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		if o.Decided {
+			vs = append(vs, o.Value)
+		}
+	}
+	return vs
+}
+
+// DistinctDecided returns the number of distinct decided values. Values are
+// compared with ==, so decided values must be comparable.
+func (r *Result) DistinctDecided() int {
+	seen := make(map[any]struct{})
+	for _, o := range r.Outcomes {
+		if o.Decided {
+			seen[o.Value] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+type eventKind int
+
+const (
+	evPark eventKind = iota + 1
+	evDone
+)
+
+type event struct {
+	id      ProcID
+	kind    eventKind
+	label   string
+	crashed bool
+	failure any // non-nil when the body panicked with a genuine error
+}
+
+type grantMsg struct {
+	crash bool
+}
+
+// crashSentinel is the private panic value used to unwind crashed processes.
+type crashSentinel struct{ id ProcID }
+
+// IsCrash reports whether a recovered panic value was raised by the runtime
+// to simulate a crash. Frameworks that recover panics on behalf of process
+// code (for example coroutine schedulers) must re-raise such values with
+// panic(v) so the crash reaches the process wrapper.
+func IsCrash(v any) bool {
+	_, ok := v.(crashSentinel)
+	return ok
+}
+
+type procState int
+
+const (
+	stateParked procState = iota + 1
+	stateRunning
+	stateDone
+)
+
+type runtime struct {
+	cfg    Config
+	envs   []*Env
+	events chan event
+
+	state     []procState
+	statuses  []Status
+	pending   []string // label each parked process is about to execute
+	stepsOf   []int
+	lastLabel []string
+	crashed   []bool
+
+	steps   int
+	crashes int
+	trace   []TraceEntry
+}
+
+// ErrNoProcs is returned by Run when no process bodies are supplied.
+var ErrNoProcs = errors.New("sched: no processes")
+
+// Run executes the given process bodies to completion under cfg and returns
+// the per-process outcomes. It returns an error if a body panics with a
+// non-crash value, or if the adversary misbehaves (crashes more than
+// MaxCrashes processes when that bound is set).
+func Run(cfg Config, bodies []Proc) (*Result, error) {
+	n := len(bodies)
+	if n == 0 {
+		return nil, ErrNoProcs
+	}
+	for i, b := range bodies {
+		if b == nil {
+			return nil, fmt.Errorf("sched: body %d is nil", i)
+		}
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NewRandom(cfg.Seed)
+	}
+
+	rt := &runtime{
+		cfg:       cfg,
+		events:    make(chan event),
+		state:     make([]procState, n),
+		statuses:  make([]Status, n),
+		pending:   make([]string, n),
+		stepsOf:   make([]int, n),
+		lastLabel: make([]string, n),
+		crashed:   make([]bool, n),
+	}
+	rt.envs = make([]*Env, n)
+	for i := range rt.envs {
+		rt.envs[i] = &Env{
+			rt:    rt,
+			id:    ProcID(i),
+			n:     n,
+			grant: make(chan grantMsg),
+		}
+	}
+
+	// Launch every process. Each wrapper parks at a synthetic "(start)" step
+	// before running its body, so even body prologues execute one at a time
+	// under the scheduler token: the single-runner invariant holds from the
+	// first instruction.
+	for i, body := range bodies {
+		rt.launch(rt.envs[i], body)
+	}
+
+	var failure any
+	livePrologues := n
+	for livePrologues > 0 {
+		ev := <-rt.events
+		if rt.consume(ev) {
+			livePrologues--
+		}
+		if ev.kind == evDone && ev.failure != nil && failure == nil {
+			failure = ev.failure
+		}
+	}
+	if failure != nil {
+		rt.reapAll(StatusBlocked)
+		return nil, fmt.Errorf("sched: process body panicked: %v", failure)
+	}
+
+	view := View{
+		Pending: rt.pending,
+		Crashed: rt.crashed,
+		StepsOf: rt.stepsOf,
+	}
+
+	budgetExhausted := false
+	for {
+		runnable := rt.runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		if rt.steps >= cfg.MaxSteps {
+			budgetExhausted = true
+			rt.reapAll(StatusBlocked)
+			break
+		}
+
+		view.Step = rt.steps
+		view.Runnable = runnable
+		dec := adv.Next(view)
+
+		for _, c := range dec.Crash {
+			if int(c) < 0 || int(c) >= len(rt.envs) || rt.state[c] != stateParked {
+				continue
+			}
+			rt.crash(c)
+			if cfg.MaxCrashes > 0 && rt.crashes > cfg.MaxCrashes {
+				rt.reapAll(StatusBlocked)
+				return nil, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+					rt.crashes, cfg.MaxCrashes)
+			}
+		}
+
+		run := dec.Run
+		if run < 0 && len(dec.Crash) > 0 {
+			// Crash-only round: no step, re-consult the adversary.
+			continue
+		}
+		if int(run) < 0 || int(run) >= len(rt.envs) || rt.state[run] != stateParked {
+			run = rt.firstParked()
+			if run < 0 {
+				continue
+			}
+		}
+		if err := rt.step(run); err != nil {
+			rt.reapAll(StatusBlocked)
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Outcomes:        make([]Outcome, n),
+		Steps:           rt.steps,
+		Crashes:         rt.crashes,
+		BudgetExhausted: budgetExhausted,
+		Trace:           rt.trace,
+	}
+	for i := range res.Outcomes {
+		e := rt.envs[i]
+		res.Outcomes[i] = Outcome{
+			Status:    rt.statuses[i],
+			Decided:   e.decided,
+			Value:     e.decision,
+			Steps:     rt.stepsOf[i],
+			LastLabel: rt.lastLabel[i],
+		}
+	}
+	return res, nil
+}
+
+func (rt *runtime) launch(e *Env, body Proc) {
+	go func() {
+		defer func() {
+			r := recover()
+			switch {
+			case r == nil:
+				rt.events <- event{id: e.id, kind: evDone}
+			case IsCrash(r):
+				rt.events <- event{id: e.id, kind: evDone, crashed: true}
+			default:
+				rt.events <- event{id: e.id, kind: evDone, failure: r}
+			}
+		}()
+		e.Step(StartLabel)
+		body(e)
+	}()
+}
+
+// consume folds one event into the runtime state and reports whether the
+// event settles a process the scheduler was waiting for.
+func (rt *runtime) consume(ev event) bool {
+	switch ev.kind {
+	case evPark:
+		rt.state[ev.id] = stateParked
+		rt.pending[ev.id] = ev.label
+	case evDone:
+		rt.state[ev.id] = stateDone
+		rt.pending[ev.id] = ""
+		switch {
+		case ev.crashed:
+			rt.statuses[ev.id] = StatusCrashed
+		case rt.envs[ev.id].decided:
+			rt.statuses[ev.id] = StatusDecided
+		default:
+			rt.statuses[ev.id] = StatusHalted
+		}
+	}
+	return true
+}
+
+// step grants one step to process id and waits for it to park again or
+// finish. It returns an error if the body panicked with a non-crash value.
+func (rt *runtime) step(id ProcID) error {
+	label := rt.pending[id]
+	rt.lastLabel[id] = label
+	if label != StartLabel {
+		rt.steps++
+		rt.stepsOf[id]++
+	}
+	// The trace records the full decision sequence, including the
+	// uncounted StartLabel grants, so a Replay adversary reproduces the
+	// schedule round for round.
+	if rt.cfg.TraceCapacity > 0 && len(rt.trace) < rt.cfg.TraceCapacity {
+		rt.trace = append(rt.trace, TraceEntry{Proc: id, Label: label})
+	}
+	rt.state[id] = stateRunning
+	rt.envs[id].grant <- grantMsg{}
+	ev := <-rt.events
+	rt.consume(ev)
+	if ev.kind == evDone && ev.failure != nil {
+		return fmt.Errorf("sched: process %d panicked: %v", ev.id, ev.failure)
+	}
+	if ev.id != id && rt.state[id] == stateRunning {
+		// A granted process must be the next to report: the token design
+		// guarantees it. Anything else is a runtime invariant violation.
+		return fmt.Errorf("sched: process %d reported while %d held the token", ev.id, id)
+	}
+	return nil
+}
+
+// crash delivers a crash to the parked process id and waits for its wrapper
+// to acknowledge. The process's pending label is preserved in lastLabel so
+// reports can show what it was about to execute.
+func (rt *runtime) crash(id ProcID) {
+	rt.lastLabel[id] = rt.pending[id]
+	rt.crashed[id] = true
+	rt.crashes++
+	rt.state[id] = stateRunning
+	rt.envs[id].grant <- grantMsg{crash: true}
+	for {
+		ev := <-rt.events
+		rt.consume(ev)
+		if ev.id == id && ev.kind == evDone {
+			return
+		}
+	}
+}
+
+// reapAll crash-unwinds every parked process so no goroutine outlives Run,
+// then overwrites their status with the given terminal status.
+func (rt *runtime) reapAll(status Status) {
+	for i := range rt.envs {
+		if rt.state[i] != stateParked {
+			continue
+		}
+		id := ProcID(i)
+		rt.lastLabel[id] = rt.pending[id]
+		rt.state[id] = stateRunning
+		rt.envs[id].grant <- grantMsg{crash: true}
+		for {
+			ev := <-rt.events
+			rt.consume(ev)
+			if ev.id == id && ev.kind == evDone {
+				break
+			}
+		}
+		rt.statuses[id] = status
+	}
+}
+
+func (rt *runtime) runnable() []ProcID {
+	ids := make([]ProcID, 0, len(rt.state))
+	for i, s := range rt.state {
+		if s == stateParked {
+			ids = append(ids, ProcID(i))
+		}
+	}
+	return ids
+}
+
+func (rt *runtime) firstParked() ProcID {
+	for i, s := range rt.state {
+		if s == stateParked {
+			return ProcID(i)
+		}
+	}
+	return -1
+}

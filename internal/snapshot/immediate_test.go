@@ -1,0 +1,222 @@
+package snapshot
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+)
+
+// runImmediate runs n participants through one immediate snapshot and
+// returns their views (zero View for crashed participants).
+func runImmediate(t *testing.T, n int, cfg sched.Config) []View[int] {
+	t.Helper()
+	is := NewImmediate[int]("is", n)
+	views := make([]View[int], n)
+	got := make([]bool, n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) {
+			views[i] = is.WriteSnapshot(e, 100+i)
+			got[i] = true
+			e.Decide(0)
+		}
+	}
+	res, err := sched.Run(cfg, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("immediate snapshot must be wait-free")
+	}
+	for i := range views {
+		if !got[i] {
+			views[i] = View[int]{}
+		}
+	}
+	return views
+}
+
+// checkImmediateProperties verifies self-inclusion, containment and
+// immediacy over the returned views (empty views = crashed, skipped).
+func checkImmediateProperties(n int, views []View[int]) string {
+	for i, v := range views {
+		if len(v.Procs) == 0 {
+			continue
+		}
+		if !v.Contains(i) {
+			return "self-inclusion violated"
+		}
+		for k, p := range v.Procs {
+			if v.Vals[k] != 100+p {
+				return "foreign value in view"
+			}
+		}
+		// Immediacy: every completed participant in my view has a view
+		// contained in mine.
+		for _, p := range v.Procs {
+			if len(views[p].Procs) == 0 {
+				continue
+			}
+			if !views[p].Subset(v) {
+				return "immediacy violated"
+			}
+		}
+		for j, w := range views {
+			if j <= i || len(w.Procs) == 0 {
+				continue
+			}
+			if !v.Subset(w) && !w.Subset(v) {
+				return "containment violated"
+			}
+		}
+	}
+	return ""
+}
+
+func TestImmediateSequential(t *testing.T) {
+	// One participant: its view is itself at level 1.
+	views := runImmediate(t, 1, sched.Config{})
+	if len(views[0].Procs) != 1 || views[0].Procs[0] != 0 || views[0].Vals[0] != 100 {
+		t.Fatalf("solo view = %+v", views[0])
+	}
+}
+
+func TestImmediatePropertiesAcrossSeeds(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5} {
+		for seed := int64(0); seed < 12; seed++ {
+			views := runImmediate(t, n, sched.Config{Seed: seed})
+			if msg := checkImmediateProperties(n, views); msg != "" {
+				t.Fatalf("n=%d seed=%d: %s (views %+v)", n, seed, msg, views)
+			}
+		}
+	}
+}
+
+func TestImmediateLockstepFullView(t *testing.T) {
+	// Under round-robin all participants descend together and everyone
+	// obtains the full view at level n.
+	const n = 4
+	views := runImmediate(t, n, sched.Config{Adversary: sched.NewRoundRobin()})
+	for i, v := range views {
+		if len(v.Procs) != n {
+			t.Fatalf("proc %d view %+v, want all %d participants", i, v, n)
+		}
+	}
+}
+
+func TestImmediateSoloFastRunner(t *testing.T) {
+	// A participant that runs to completion before anyone else starts gets
+	// the singleton view {itself} (it reaches level 1 alone).
+	const n = 3
+	is := NewImmediate[int]("is", n)
+	var fastView View[int]
+	bodies := make([]sched.Proc, n)
+	bodies[0] = func(e *sched.Env) {
+		fastView = is.WriteSnapshot(e, 100)
+		e.Decide(0)
+	}
+	for i := 1; i < n; i++ {
+		i := i
+		bodies[i] = func(e *sched.Env) {
+			is.WriteSnapshot(e, 100+i)
+			e.Decide(0)
+		}
+	}
+	// Priority adversary: run proc 0 whenever possible.
+	adv := sched.NewStriped(1<<30, 0)
+	if _, err := sched.Run(sched.Config{Adversary: adv}, bodies); err != nil {
+		t.Fatal(err)
+	}
+	if len(fastView.Procs) != 1 || fastView.Procs[0] != 0 {
+		t.Fatalf("fast runner view = %+v, want {0}", fastView)
+	}
+}
+
+func TestImmediateWaitFreeUnderCrashes(t *testing.T) {
+	// Crashing participants mid-descent never blocks the survivors.
+	const n = 4
+	is := NewImmediate[int]("is", n)
+	views := make([]View[int], n)
+	bodies := make([]sched.Proc, n)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) {
+			views[i] = is.WriteSnapshot(e, 100+i)
+			e.Decide(0)
+		}
+	}
+	adv := sched.NewPlan(sched.NewRandom(3)).
+		CrashAfterProcSteps(0, 3).
+		CrashAfterProcSteps(1, 7)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 10000}, bodies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BudgetExhausted {
+		t.Fatal("survivors blocked")
+	}
+	for i := 2; i < n; i++ {
+		if res.Outcomes[i].Status != sched.StatusDecided {
+			t.Fatalf("survivor %d: %+v", i, res.Outcomes[i])
+		}
+	}
+}
+
+func TestImmediateMisuse(t *testing.T) {
+	t.Run("double invoke", func(t *testing.T) {
+		is := NewImmediate[int]("is", 2)
+		bodies := []sched.Proc{func(e *sched.Env) {
+			is.WriteSnapshot(e, 1)
+			is.WriteSnapshot(e, 2)
+		}}
+		if _, err := sched.Run(sched.Config{}, bodies); err == nil {
+			t.Fatal("double invoke accepted")
+		}
+	})
+	t.Run("bad size", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("n = 0 accepted")
+			}
+		}()
+		NewImmediate[int]("is", 0)
+	})
+}
+
+// TestQuickImmediateProperties: the three immediate-snapshot properties hold
+// for random sizes, schedules and crash patterns.
+func TestQuickImmediateProperties(t *testing.T) {
+	f := func(seed int64, rawN, rawF, crashAt uint8) bool {
+		n := int(rawN%5) + 1
+		fCount := int(rawF) % n
+		is := NewImmediate[int]("is", n)
+		views := make([]View[int], n)
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(e *sched.Env) {
+				views[i] = is.WriteSnapshot(e, 100+i)
+				e.Decide(0)
+			}
+		}
+		adv := sched.NewPlan(sched.NewRandom(seed))
+		for v := 0; v < fCount; v++ {
+			adv.CrashAfterProcSteps(sched.ProcID(v), int(crashAt%9)+1)
+		}
+		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 50000}, bodies)
+		if err != nil || res.BudgetExhausted {
+			return false
+		}
+		for i, o := range res.Outcomes {
+			if o.Status != sched.StatusDecided {
+				views[i] = View[int]{}
+			}
+		}
+		return checkImmediateProperties(n, views) == ""
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,247 @@
+package snapshot
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+)
+
+// runScanWorkload runs n processes, each performing rounds updates of
+// increasing values to its own component with a scan after every update, and
+// returns every scan any process obtained. Values are the per-process
+// sequence numbers, so component-wise comparison of two scans is meaningful.
+func runScanWorkload(t *testing.T, mk func(n int) Snapshot[int], n, rounds int, seed int64) [][]int {
+	t.Helper()
+	snap := mk(n)
+	var scans [][]int
+	bodies := make([]sched.Proc, n)
+	for j := 0; j < n; j++ {
+		j := j
+		bodies[j] = func(e *sched.Env) {
+			for r := 1; r <= rounds; r++ {
+				snap.Update(e, j, r)
+				s := snap.Scan(e)
+				if s[j] < r {
+					panic(fmt.Sprintf("proc %d: own write %d missing from scan %v", j, r, s))
+				}
+				scans = append(scans, s)
+			}
+			e.Decide(0)
+		}
+	}
+	res, err := sched.Run(sched.Config{Seed: seed}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumDecided() != n {
+		t.Fatalf("decided %d of %d (budget exhausted: %v)", res.NumDecided(), n, res.BudgetExhausted)
+	}
+	return scans
+}
+
+// leq reports whether scan a is component-wise <= scan b.
+func leq(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkTotallyOrdered verifies that all scans are pairwise comparable, the
+// defining linearizability property of atomic snapshots.
+func checkTotallyOrdered(t *testing.T, scans [][]int) {
+	t.Helper()
+	for i := 0; i < len(scans); i++ {
+		for j := i + 1; j < len(scans); j++ {
+			if !leq(scans[i], scans[j]) && !leq(scans[j], scans[i]) {
+				t.Fatalf("incomparable scans:\n  %v\n  %v", scans[i], scans[j])
+			}
+		}
+	}
+}
+
+func implementations() map[string]func(n int) Snapshot[int] {
+	return map[string]func(n int) Snapshot[int]{
+		"primitive": func(n int) Snapshot[int] { return NewPrimitive[int]("mem", n) },
+		"afek":      func(n int) Snapshot[int] { return NewAfek[int]("mem", n) },
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			snap := mk(3)
+			body := func(e *sched.Env) {
+				s := snap.Scan(e)
+				for _, v := range s {
+					if v != 0 {
+						panic("initial scan must be zero")
+					}
+				}
+				snap.Update(e, 0, 7)
+				snap.Update(e, 2, 9)
+				s = snap.Scan(e)
+				if s[0] != 7 || s[1] != 0 || s[2] != 9 {
+					panic(fmt.Sprintf("scan = %v", s))
+				}
+				e.Decide(0)
+			}
+			res, err := sched.Run(sched.Config{}, []sched.Proc{body})
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if res.NumDecided() != 1 {
+				t.Fatal("process did not finish")
+			}
+		})
+	}
+}
+
+func TestScanMutationIsolation(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			snap := mk(2)
+			body := func(e *sched.Env) {
+				snap.Update(e, 0, 5)
+				s := snap.Scan(e)
+				s[0] = 42 // mutating the returned slice must not affect the object
+				s2 := snap.Scan(e)
+				if s2[0] != 5 {
+					panic("scan returned aliased storage")
+				}
+				e.Decide(0)
+			}
+			if _, err := sched.Run(sched.Config{}, []sched.Proc{body}); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+		})
+	}
+}
+
+func TestConcurrentScansTotallyOrdered(t *testing.T) {
+	for name, mk := range implementations() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				scans := runScanWorkload(t, mk, 4, 6, seed)
+				checkTotallyOrdered(t, scans)
+			}
+		})
+	}
+}
+
+func TestQuickScansTotallyOrdered(t *testing.T) {
+	for name, mk := range implementations() {
+		mk := mk
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64, rawN, rawR uint8) bool {
+				n := int(rawN%4) + 2
+				rounds := int(rawR%4) + 1
+				scans := runScanWorkload(t, mk, n, rounds, seed)
+				for i := 0; i < len(scans); i++ {
+					for j := i + 1; j < len(scans); j++ {
+						if !leq(scans[i], scans[j]) && !leq(scans[j], scans[i]) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestAfekBorrowedViewPath drives one slow scanner against fast updaters so
+// the scanner observes an updater moving twice and must borrow its embedded
+// view. An adversary that always favours the updaters maximizes collect
+// tearing.
+func TestAfekBorrowedViewPath(t *testing.T) {
+	const n = 3
+	snap := NewAfek[int]("mem", n)
+	bodies := make([]sched.Proc, n)
+	bodies[0] = func(e *sched.Env) {
+		s := snap.Scan(e)
+		e.Decide(s[1] + s[2])
+	}
+	for j := 1; j < n; j++ {
+		j := j
+		bodies[j] = func(e *sched.Env) {
+			for r := 1; r <= 40; r++ {
+				snap.Update(e, j, r)
+			}
+			e.Decide(0)
+		}
+	}
+	// Updater-priority adversary: give the scanner one step out of every
+	// eight so it keeps observing torn collects.
+	adv := sched.NewStriped(8, 1, 2)
+	res, err := sched.Run(sched.Config{Adversary: adv}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcomes[0].Status != sched.StatusDecided {
+		t.Fatalf("scanner did not terminate: %v", res.Outcomes[0].Status)
+	}
+}
+
+func TestAfekUpdaterCrashMidUpdate(t *testing.T) {
+	// A crashed updater must not block scanners: wait-freedom of the
+	// construction. Crash proc 1 in the middle of its embedded scan.
+	const n = 3
+	snap := NewAfek[int]("mem", n)
+	bodies := make([]sched.Proc, n)
+	bodies[0] = func(e *sched.Env) {
+		for i := 0; i < 5; i++ {
+			snap.Scan(e)
+		}
+		e.Decide(0)
+	}
+	bodies[1] = func(e *sched.Env) {
+		snap.Update(e, 1, 1)
+		snap.Update(e, 1, 2)
+		e.Decide(0)
+	}
+	bodies[2] = func(e *sched.Env) {
+		snap.Update(e, 2, 1)
+		e.Decide(0)
+	}
+	adv := sched.NewPlan(sched.NewRandom(7)).CrashOnLabel(1, "mem[2].read", 1)
+	res, err := sched.Run(sched.Config{Adversary: adv}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcomes[0].Status != sched.StatusDecided {
+		t.Fatal("scanner blocked by crashed updater")
+	}
+	if res.Outcomes[2].Status != sched.StatusDecided {
+		t.Fatal("updater 2 blocked by crashed updater")
+	}
+}
+
+func TestLen(t *testing.T) {
+	for name, mk := range implementations() {
+		if got := mk(5).Len(); got != 5 {
+			t.Errorf("%s: Len = %d, want 5", name, got)
+		}
+	}
+}
+
+func TestInvalidSizePanics(t *testing.T) {
+	for name, mk := range implementations() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor accepted size 0")
+				}
+			}()
+			mk(0)
+		})
+	}
+}

@@ -1,0 +1,198 @@
+// Package tasks defines decision tasks (§2.1 of the paper): in every run each
+// process proposes a value (the input vector I) and must decide a value (the
+// output vector O), with a task-specific total relation ∆ between them.
+//
+// A task is colorless when any proposed value may be proposed by every
+// process and any decided value may be decided by every process (consensus,
+// k-set agreement); otherwise it is colored (renaming). The distinction is
+// central to the paper: its main equivalence holds for colorless tasks
+// (§5.1), with a separate simulation for colored tasks (§5.5).
+package tasks
+
+import (
+	"fmt"
+)
+
+// Kind classifies tasks as colorless or colored.
+type Kind int
+
+const (
+	// Colorless tasks allow any process to adopt any other's proposal or
+	// decision.
+	Colorless Kind = iota + 1
+	// Colored tasks constrain decisions per process (e.g. distinct names).
+	Colored
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case Colorless:
+		return "colorless"
+	case Colored:
+		return "colored"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Task is a decision task. Validate checks the relation ∆ on one run's
+// input vector and (partial) output vector: outputs[j] == nil means process
+// j did not decide, which is acceptable for at most the run's crash bound —
+// liveness is checked by the experiment harness, not by Validate.
+type Task interface {
+	Name() string
+	Kind() Kind
+	Validate(inputs, outputs []any) error
+}
+
+// Consensus is the consensus task: all decided values equal, and equal to
+// some proposed value.
+type Consensus struct{}
+
+var _ Task = Consensus{}
+
+// Name implements Task.
+func (Consensus) Name() string { return "consensus" }
+
+// Kind implements Task.
+func (Consensus) Kind() Kind { return Colorless }
+
+// Validate implements Task.
+func (Consensus) Validate(inputs, outputs []any) error {
+	return KSet{K: 1}.validate("consensus", inputs, outputs)
+}
+
+// KSet is the k-set agreement task: at most K distinct values decided, each
+// of them proposed.
+type KSet struct {
+	// K is the agreement bound (K = 1 is consensus).
+	K int
+}
+
+var _ Task = KSet{}
+
+// Name implements Task.
+func (t KSet) Name() string { return fmt.Sprintf("%d-set-agreement", t.K) }
+
+// Kind implements Task.
+func (KSet) Kind() Kind { return Colorless }
+
+// Validate implements Task.
+func (t KSet) Validate(inputs, outputs []any) error {
+	return t.validate(t.Name(), inputs, outputs)
+}
+
+func (t KSet) validate(name string, inputs, outputs []any) error {
+	if t.K < 1 {
+		return fmt.Errorf("tasks: %s has invalid bound k=%d", name, t.K)
+	}
+	if len(inputs) != len(outputs) {
+		return fmt.Errorf("tasks: %s input/output length mismatch: %d vs %d",
+			name, len(inputs), len(outputs))
+	}
+	proposed := make(map[any]bool, len(inputs))
+	for _, v := range inputs {
+		proposed[v] = true
+	}
+	distinct := make(map[any]bool)
+	for j, v := range outputs {
+		if v == nil {
+			continue
+		}
+		if !proposed[v] {
+			return fmt.Errorf("tasks: %s validity violated: process %d decided %v, never proposed",
+				name, j, v)
+		}
+		distinct[v] = true
+	}
+	if len(distinct) > t.K {
+		return fmt.Errorf("tasks: %s agreement violated: %d distinct decisions, bound %d",
+			name, len(distinct), t.K)
+	}
+	return nil
+}
+
+// Renaming is the M-renaming task (colored): processes start with distinct
+// original names (their inputs) and must decide pairwise-distinct new names
+// in 1..M. Wait-free solvability requires M >= 2n-1 [Attiya et al. 1990].
+type Renaming struct {
+	// M is the size of the new name space.
+	M int
+}
+
+var _ Task = Renaming{}
+
+// Name implements Task.
+func (t Renaming) Name() string { return fmt.Sprintf("%d-renaming", t.M) }
+
+// Kind implements Task.
+func (Renaming) Kind() Kind { return Colored }
+
+// Validate implements Task.
+func (t Renaming) Validate(inputs, outputs []any) error {
+	if len(inputs) != len(outputs) {
+		return fmt.Errorf("tasks: %s input/output length mismatch: %d vs %d",
+			t.Name(), len(inputs), len(outputs))
+	}
+	seenIn := make(map[any]bool, len(inputs))
+	for j, v := range inputs {
+		if seenIn[v] {
+			return fmt.Errorf("tasks: %s inputs must be distinct original names; %v repeated at %d",
+				t.Name(), v, j)
+		}
+		seenIn[v] = true
+	}
+	seenOut := make(map[any]int, len(outputs))
+	for j, v := range outputs {
+		if v == nil {
+			continue
+		}
+		name, ok := v.(int)
+		if !ok {
+			return fmt.Errorf("tasks: %s process %d decided non-integer name %v", t.Name(), j, v)
+		}
+		if name < 1 || name > t.M {
+			return fmt.Errorf("tasks: %s process %d decided name %d outside 1..%d",
+				t.Name(), j, name, t.M)
+		}
+		if prev, dup := seenOut[v]; dup {
+			return fmt.Errorf("tasks: %s processes %d and %d decided the same name %d",
+				t.Name(), prev, j, name)
+		}
+		seenOut[v] = j
+	}
+	return nil
+}
+
+// DistinctInputs returns the canonical input vector 0..n-1 (used for
+// renaming, where inputs are distinct original names, and convenient for
+// set-agreement sweeps).
+func DistinctInputs(n int) []any {
+	in := make([]any, n)
+	for i := range in {
+		in[i] = i
+	}
+	return in
+}
+
+// ConstInputs returns an input vector with every entry v.
+func ConstInputs(n int, v any) []any {
+	in := make([]any, n)
+	for i := range in {
+		in[i] = v
+	}
+	return in
+}
+
+// OutputsOf extracts the per-process output vector (nil = undecided) from
+// per-process (decided, value) pairs, a convenience for harness code.
+func OutputsOf(decided []bool, values []any) []any {
+	out := make([]any, len(decided))
+	for i := range decided {
+		if decided[i] {
+			out[i] = values[i]
+		}
+	}
+	return out
+}

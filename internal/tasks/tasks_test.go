@@ -1,0 +1,143 @@
+package tasks
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Colorless.String() != "colorless" || Colored.String() != "colored" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Fatal("unknown kind should show its number")
+	}
+}
+
+func TestConsensusValidate(t *testing.T) {
+	c := Consensus{}
+	if c.Name() != "consensus" || c.Kind() != Colorless {
+		t.Fatal("metadata wrong")
+	}
+	in := []any{1, 2, 3}
+	if err := c.Validate(in, []any{2, 2, 2}); err != nil {
+		t.Errorf("unanimous decision rejected: %v", err)
+	}
+	if err := c.Validate(in, []any{2, nil, 2}); err != nil {
+		t.Errorf("partial decision rejected: %v", err)
+	}
+	if err := c.Validate(in, []any{1, 2, nil}); err == nil {
+		t.Error("disagreement accepted")
+	}
+	if err := c.Validate(in, []any{9, 9, 9}); err == nil {
+		t.Error("non-proposed value accepted")
+	}
+	if err := c.Validate(in, []any{nil, nil, nil}); err != nil {
+		t.Errorf("all-undecided rejected: %v", err)
+	}
+}
+
+func TestKSetValidate(t *testing.T) {
+	k := KSet{K: 2}
+	if k.Name() != "2-set-agreement" {
+		t.Fatalf("name = %q", k.Name())
+	}
+	in := []any{1, 2, 3, 4}
+	if err := k.Validate(in, []any{1, 2, 1, 2}); err != nil {
+		t.Errorf("2 distinct rejected: %v", err)
+	}
+	if err := k.Validate(in, []any{1, 2, 3, nil}); err == nil {
+		t.Error("3 distinct accepted by 2-set")
+	}
+	if err := k.Validate(in, []any{1, 5, nil, nil}); err == nil {
+		t.Error("non-proposed accepted")
+	}
+	if err := k.Validate([]any{1}, []any{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := (KSet{K: 0}).Validate(in, []any{nil, nil, nil, nil}); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestRenamingValidate(t *testing.T) {
+	r := Renaming{M: 5}
+	if r.Kind() != Colored || r.Name() != "5-renaming" {
+		t.Fatal("metadata wrong")
+	}
+	in := DistinctInputs(3)
+	if err := r.Validate(in, []any{1, 3, 5}); err != nil {
+		t.Errorf("valid renaming rejected: %v", err)
+	}
+	if err := r.Validate(in, []any{1, nil, 5}); err != nil {
+		t.Errorf("partial renaming rejected: %v", err)
+	}
+	if err := r.Validate(in, []any{1, 1, nil}); err == nil {
+		t.Error("duplicate names accepted")
+	}
+	if err := r.Validate(in, []any{0, nil, nil}); err == nil {
+		t.Error("name below range accepted")
+	}
+	if err := r.Validate(in, []any{6, nil, nil}); err == nil {
+		t.Error("name above range accepted")
+	}
+	if err := r.Validate(in, []any{"a", nil, nil}); err == nil {
+		t.Error("non-integer name accepted")
+	}
+	if err := r.Validate([]any{1, 1, 2}, []any{1, 2, 3}); err == nil {
+		t.Error("duplicate original names accepted")
+	}
+	if err := r.Validate([]any{1}, []any{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestInputHelpers(t *testing.T) {
+	d := DistinctInputs(3)
+	if len(d) != 3 || d[0] != 0 || d[2] != 2 {
+		t.Fatalf("DistinctInputs = %v", d)
+	}
+	c := ConstInputs(2, "v")
+	if len(c) != 2 || c[0] != "v" || c[1] != "v" {
+		t.Fatalf("ConstInputs = %v", c)
+	}
+}
+
+func TestOutputsOf(t *testing.T) {
+	out := OutputsOf([]bool{true, false, true}, []any{1, 2, 3})
+	if out[0] != 1 || out[1] != nil || out[2] != 3 {
+		t.Fatalf("OutputsOf = %v", out)
+	}
+}
+
+// TestQuickKSetMonotone: if an output vector satisfies k-set agreement it
+// satisfies k'-set agreement for every k' >= k (the hierarchy the paper's
+// §5.4 builds on).
+func TestQuickKSetMonotone(t *testing.T) {
+	f := func(raw []uint8, rawK uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		n := len(raw)
+		k := int(rawK%uint8(n)) + 1
+		in := make([]any, n)
+		out := make([]any, n)
+		for i, b := range raw {
+			in[i] = int(b % 3)
+			out[i] = int(b % 3) // decide own proposal: always valid values
+		}
+		errK := KSet{K: k}.Validate(in, out)
+		errK1 := KSet{K: k + 1}.Validate(in, out)
+		if errK == nil && errK1 != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package universal
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mpcn/internal/sched"
+)
+
+// counterSpec is a fetch&increment counter: each op adds 1 and returns the
+// post-increment value. Linearizability means the responses across all
+// processes are exactly 1..total with no duplicates.
+func counterSpec() Apply[int, struct{}, int] {
+	return func(s int, _ struct{}) (int, int) {
+		return s + 1, s + 1
+	}
+}
+
+func portsUpTo(x int) []sched.ProcID {
+	ids := make([]sched.ProcID, x)
+	for i := range ids {
+		ids[i] = sched.ProcID(i)
+	}
+	return ids
+}
+
+func TestCounterLinearizable(t *testing.T) {
+	const x, perProc = 3, 4
+	u := New("ctr", portsUpTo(x), 0, counterSpec())
+	var responses []int
+	bodies := make([]sched.Proc, x)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) {
+			h := u.NewHandle(sched.ProcID(i))
+			for k := 0; k < perProc; k++ {
+				responses = append(responses, h.Invoke(e, struct{}{}))
+			}
+			e.Decide(0)
+		}
+	}
+	res, err := sched.Run(sched.Config{Seed: 11}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumDecided() != x {
+		t.Fatalf("decided %d of %d", res.NumDecided(), x)
+	}
+	sort.Ints(responses)
+	if len(responses) != x*perProc {
+		t.Fatalf("%d responses, want %d", len(responses), x*perProc)
+	}
+	for i, r := range responses {
+		if r != i+1 {
+			t.Fatalf("responses = %v, want 1..%d", responses, x*perProc)
+		}
+	}
+}
+
+func TestQueueViaUniversal(t *testing.T) {
+	type op struct {
+		push bool
+		v    int
+	}
+	apply := func(s []int, o op) ([]int, int) {
+		if o.push {
+			out := make([]int, len(s)+1)
+			copy(out, s)
+			out[len(s)] = o.v
+			return out, 0
+		}
+		if len(s) == 0 {
+			return s, -1
+		}
+		return s[1:], s[0]
+	}
+	u := New("q", portsUpTo(2), []int(nil), Apply[[]int, op, int](apply))
+	var popped []int
+	bodies := []sched.Proc{
+		func(e *sched.Env) {
+			h := u.NewHandle(0)
+			for v := 1; v <= 3; v++ {
+				h.Invoke(e, op{push: true, v: v})
+			}
+			e.Decide(0)
+		},
+		func(e *sched.Env) {
+			h := u.NewHandle(1)
+			for len(popped) < 3 {
+				if v := h.Invoke(e, op{}); v != -1 {
+					popped = append(popped, v)
+				}
+			}
+			e.Decide(0)
+		},
+	}
+	res, err := sched.Run(sched.Config{Seed: 5}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.NumDecided() != 2 {
+		t.Fatalf("decided %d of 2 (budget: %v)", res.NumDecided(), res.BudgetExhausted)
+	}
+	for i, v := range popped {
+		if v != i+1 {
+			t.Fatalf("popped = %v, want FIFO 1,2,3", popped)
+		}
+	}
+}
+
+func TestWaitFreedomUnderCrashes(t *testing.T) {
+	// All ports but one are crashed mid-run; the survivor must still
+	// complete all its invocations (wait-freedom of the construction).
+	const x = 3
+	u := New("ctr", portsUpTo(x), 0, counterSpec())
+	bodies := make([]sched.Proc, x)
+	for i := range bodies {
+		i := i
+		bodies[i] = func(e *sched.Env) {
+			h := u.NewHandle(sched.ProcID(i))
+			for k := 0; k < 5; k++ {
+				h.Invoke(e, struct{}{})
+			}
+			e.Decide(0)
+		}
+	}
+	adv := sched.NewPlan(sched.NewRandom(9)).
+		CrashOnLabel(0, "cons[0].x_cons_propose", 1).
+		CrashAfterProcSteps(1, 6)
+	res, err := sched.Run(sched.Config{Adversary: adv}, bodies)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Outcomes[2].Status != sched.StatusDecided {
+		t.Fatalf("survivor blocked: %+v", res.Outcomes[2])
+	}
+}
+
+func TestQuickCounterPermutation(t *testing.T) {
+	f := func(seed int64, rawX, rawK uint8) bool {
+		x := int(rawX%4) + 1
+		perProc := int(rawK%4) + 1
+		u := New("ctr", portsUpTo(x), 0, counterSpec())
+		var responses []int
+		bodies := make([]sched.Proc, x)
+		for i := range bodies {
+			i := i
+			bodies[i] = func(e *sched.Env) {
+				h := u.NewHandle(sched.ProcID(i))
+				for k := 0; k < perProc; k++ {
+					responses = append(responses, h.Invoke(e, struct{}{}))
+				}
+				e.Decide(0)
+			}
+		}
+		res, err := sched.Run(sched.Config{Seed: seed}, bodies)
+		if err != nil || res.NumDecided() != x {
+			return false
+		}
+		sort.Ints(responses)
+		for i, r := range responses {
+			if r != i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewHandleValidation(t *testing.T) {
+	u := New("ctr", portsUpTo(2), 0, counterSpec())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewHandle for a non-port must panic")
+		}
+	}()
+	u.NewHandle(7)
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with no ports must panic")
+		}
+	}()
+	New("bad", nil, 0, counterSpec())
+}
+
+func TestNewDuplicatePorts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with duplicate ports must panic")
+		}
+	}()
+	New("bad", []sched.ProcID{1, 1}, 0, counterSpec())
+}
+
+func TestStateAccessor(t *testing.T) {
+	u := New("ctr", portsUpTo(1), 0, counterSpec())
+	body := func(e *sched.Env) {
+		h := u.NewHandle(0)
+		h.Invoke(e, struct{}{})
+		h.Invoke(e, struct{}{})
+		if h.State() != 2 {
+			panic("state not replayed")
+		}
+		e.Decide(0)
+	}
+	if _, err := sched.Run(sched.Config{}, []sched.Proc{body}); err != nil {
+		t.Fatal(err)
+	}
+}
