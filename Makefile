@@ -1,0 +1,30 @@
+# Development entry points. CI should run: make build vet test explore-smoke
+GO ?= go
+
+.PHONY: build vet test bench explore-smoke experiments
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# The parallel explorer is the repository's only real concurrency; keep the
+# whole suite race-clean.
+test: build vet
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Bounded exhaustive-exploration smoke: every cell is capped by -maxruns, so
+# this can never hang CI even on pathological trees (the BG cell alone would
+# otherwise be astronomically deep).
+explore-smoke: build
+	$(GO) run ./cmd/explore -object safe -n 2 -crashes 0,1 -maxruns 5000 -compare
+	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune
+	$(GO) run ./cmd/explore -object commitadopt -n 2,3 -maxruns 5000 -prune
+	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -maxruns 2000
+
+experiments:
+	$(GO) run ./cmd/experiments

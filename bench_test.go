@@ -14,6 +14,8 @@ import (
 	"mpcn/internal/bg"
 	"mpcn/internal/core"
 	"mpcn/internal/detector"
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/sessions"
 	"mpcn/internal/hierarchy"
 	"mpcn/internal/model"
 	"mpcn/internal/object"
@@ -453,6 +455,58 @@ func BenchmarkBoostedConsensus(b *testing.B) {
 			}
 		})
 	}
+}
+
+// exploreBenchSession is the fixed workload of the explorer benchmark:
+// 3 processes each writing a private register 3 times, a 34650-leaf decision
+// tree (12 grants interleaved as 12!/(4!^3)).
+var exploreBenchSession = sessions.Registers(3, 3)
+
+// BenchmarkParallelVsSequential measures the exhaustive explorer on the
+// fixed 34650-run tree: the sequential DFS against the frontier-sharded
+// worker pool, plus the partial-order-reduced tree for scale. Every variant
+// must report the configuration exhausted, and all unpruned variants must
+// visit the identical run count — the engine's determinism guarantee.
+// Parallel speedup tracks the cores the host grants; on a single-CPU
+// container the pool runs at sequential parity.
+func BenchmarkParallelVsSequential(b *testing.B) {
+	const wantRuns = 34650
+	verify := func(b *testing.B, stats explore.Stats, err error, runs int) {
+		b.Helper()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !stats.Exhausted {
+			b.Fatal("exploration did not exhaust")
+		}
+		if runs > 0 && stats.Runs != runs {
+			b.Fatalf("runs = %d, want %d", stats.Runs, runs)
+		}
+		b.ReportMetric(stats.RunsPerSec(), "runs/sec")
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := exploreBenchSession()
+			stats, err := explore.Explore(s.Make, s.Check, explore.Config{})
+			verify(b, stats, err, wantRuns)
+		}
+	})
+	for _, workers := range []int{4, 8} {
+		b.Run(fmt.Sprintf("parallel-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats, err := explore.ExploreParallel(exploreBenchSession,
+					explore.Config{Workers: workers})
+				verify(b, stats, err, wantRuns)
+			}
+		})
+	}
+	b.Run("sequential-pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := exploreBenchSession()
+			stats, err := explore.Explore(s.Make, s.Check, explore.Config{Prune: true})
+			verify(b, stats, err, 0)
+		}
+	})
 }
 
 // BenchmarkCommitAdopt measures one commit-adopt round under contention.

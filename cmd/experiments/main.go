@@ -1,5 +1,6 @@
 // Command experiments re-runs every experiment of the reproduction
-// (E1..E12 of DESIGN.md) and prints a paper-claim vs. measured table.
+// (E1..E16: the paper's artifacts, the extension experiments, and the
+// exhaustive-coverage proofs) and prints a paper-claim vs. measured table.
 //
 // Usage:
 //

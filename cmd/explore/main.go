@@ -1,0 +1,217 @@
+// Command explore runs the exhaustive model checker over grids of bounded
+// configurations: every schedule (and optionally every crash placement) of
+// the selected object is enumerated and its safety properties are checked,
+// turning the repository's sampled sweeps into per-configuration proofs.
+//
+// Usage:
+//
+//	explore -object safe        -n 2,3 -crashes 0,1 [-prune] [-workers 8]
+//	explore -object xsafe       -n 2,3 -x 1,2 -crashes 0,1 -prune
+//	explore -object commitadopt -n 2 -crashes 0,1
+//	explore -object bg          -n 2,3 -t 1 -maxruns 20000
+//	explore -object registers   -n 3 -prune -compare
+//
+// Grid flags (-n, -x, -t, -crashes, -steps) accept comma-separated value
+// lists and sweep their cartesian product. Each cell prints the visited-run
+// count, pruned branches, tree depth, throughput and the exhaustion verdict;
+// any property violation aborts with the reproducing decision script.
+//
+// The BG simulation's decision tree is astronomically deep even for tiny
+// configurations: bound it with -maxruns (the run is then a coverage smoke,
+// reported as exhausted=false) or keep n and t minimal.
+//
+// -compare additionally runs the sequential explorer on every cell and
+// verifies that the parallel engine visited the identical state space — the
+// determinism guarantee the engine's tests rely on.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/sessions"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+type options struct {
+	object  string
+	ns      []int
+	xs      []int
+	ts      []int
+	crashes []int
+	steps   []int
+	probes  int
+	workers int
+	maxRuns int
+	prune   bool
+	compare bool
+	seq     bool
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
+	var o options
+	var ns, xs, ts, crashes, steps string
+	fs.StringVar(&o.object, "object", "safe", "object to check: safe|xsafe|commitadopt|bg|registers")
+	fs.StringVar(&ns, "n", "2", "process counts (comma-separated grid)")
+	fs.StringVar(&xs, "x", "1", "consensus numbers for xsafe (comma-separated grid)")
+	fs.StringVar(&ts, "t", "1", "resilience for bg (comma-separated grid)")
+	fs.StringVar(&crashes, "crashes", "0", "max crashes per run (comma-separated grid)")
+	fs.StringVar(&steps, "steps", "0", "per-run step budgets, 0 = default (comma-separated grid)")
+	fs.IntVar(&o.probes, "probes", 2, "bounded decide probes per process (safe/xsafe)")
+	fs.IntVar(&o.workers, "workers", 0, "worker pool size (<= 0 selects the default)")
+	fs.IntVar(&o.maxRuns, "maxruns", 0, "abort each cell after this many runs (0 = exhaustive)")
+	fs.BoolVar(&o.prune, "prune", false, "enable partial-order reduction")
+	fs.BoolVar(&o.compare, "compare", false, "verify the parallel run count against the sequential explorer")
+	fs.BoolVar(&o.seq, "seq", false, "use the sequential explorer only")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var err error
+	if o.ns, err = parseGrid(ns); err == nil {
+		if o.xs, err = parseGrid(xs); err == nil {
+			if o.ts, err = parseGrid(ts); err == nil {
+				if o.crashes, err = parseGrid(crashes); err == nil {
+					o.steps, err = parseGrid(steps)
+				}
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		return 2
+	}
+	if err := sweep(o, out); err != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		var pe *explore.PropertyError
+		if errors.As(err, &pe) {
+			fmt.Fprintf(os.Stderr, "replay script:\n  %s\n", strings.Join(pe.Script, "\n  "))
+		}
+		return 1
+	}
+	return 0
+}
+
+func parseGrid(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad grid value %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// cell is one grid configuration.
+type cell struct {
+	n, x, t, crashes, steps int
+}
+
+func (c cell) String() string {
+	return fmt.Sprintf("n=%d x=%d t=%d crashes=%d steps=%d", c.n, c.x, c.t, c.crashes, c.steps)
+}
+
+func sweep(o options, out io.Writer) error {
+	cells := make([]cell, 0, len(o.ns)*len(o.xs)*len(o.crashes)*len(o.steps))
+	for _, n := range o.ns {
+		for _, x := range o.xs {
+			for _, t := range o.ts {
+				for _, cr := range o.crashes {
+					for _, st := range o.steps {
+						cells = append(cells, cell{n: n, x: x, t: t, crashes: cr, steps: st})
+					}
+				}
+			}
+		}
+	}
+	fmt.Fprintf(out, "exhaustive exploration of %s (prune=%v, workers=%d, maxruns=%d)\n",
+		o.object, o.prune, o.workers, o.maxRuns)
+	fmt.Fprintf(out, "%-40s %10s %8s %6s %10s %10s %s\n",
+		"configuration", "runs", "pruned", "depth", "runs/sec", "elapsed", "verdict")
+	for _, c := range cells {
+		newSession, err := sessionFor(o, c)
+		if err != nil {
+			return fmt.Errorf("%v: %w", c, err)
+		}
+		cfg := explore.Config{
+			MaxCrashes: c.crashes,
+			MaxSteps:   c.steps,
+			MaxRuns:    o.maxRuns,
+			Workers:    o.workers,
+			Prune:      o.prune,
+		}
+		var stats explore.Stats
+		if o.seq {
+			s := newSession()
+			stats, err = explore.Explore(s.Make, s.Check, cfg)
+		} else {
+			stats, err = explore.ExploreParallel(newSession, cfg)
+		}
+		if err != nil {
+			return fmt.Errorf("%v: %w", c, err)
+		}
+		verdict := "EXHAUSTED"
+		if !stats.Exhausted {
+			verdict = "partial (bounded)"
+		}
+		fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s %s\n",
+			c, stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
+			stats.Elapsed.Round(stats.Elapsed/100+1), verdict)
+		if o.compare && !o.seq {
+			s := newSession()
+			seq, err := explore.Explore(s.Make, s.Check, cfg)
+			if err != nil {
+				return fmt.Errorf("%v (sequential): %w", c, err)
+			}
+			if seq.Runs != stats.Runs || seq.Exhausted != stats.Exhausted || seq.Pruned != stats.Pruned {
+				return fmt.Errorf("%v: parallel/sequential divergence: par={runs:%d pruned:%d} seq={runs:%d pruned:%d}",
+					c, stats.Runs, stats.Pruned, seq.Runs, seq.Pruned)
+			}
+			fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s sequential check OK\n",
+				"  (sequential)", seq.Runs, seq.Pruned, seq.MaxDepth, seq.RunsPerSec(),
+				seq.Elapsed.Round(seq.Elapsed/100+1))
+		}
+	}
+	return nil
+}
+
+// sessionFor builds the per-worker session factory for one grid cell. The
+// harnesses themselves (bodies + checkers) live in explore/sessions, shared
+// with the E16 experiments and the benchmarks.
+func sessionFor(o options, c cell) (func() explore.Session, error) {
+	if c.n < 1 {
+		return nil, fmt.Errorf("need n >= 1")
+	}
+	switch o.object {
+	case "safe":
+		return sessions.SafeAgreement(c.n, o.probes, nil), nil
+	case "xsafe":
+		if c.x < 1 || c.x > c.n {
+			return nil, fmt.Errorf("xsafe needs 1 <= x <= n")
+		}
+		return sessions.XSafe(c.n, c.x, o.probes), nil
+	case "commitadopt":
+		return sessions.CommitAdopt(c.n), nil
+	case "bg":
+		if c.t < 0 || c.t >= c.n {
+			return nil, fmt.Errorf("bg needs 0 <= t < n")
+		}
+		return sessions.BG(c.n, c.t)
+	case "registers":
+		return sessions.Registers(c.n, 2), nil
+	default:
+		return nil, fmt.Errorf("unknown object %q", o.object)
+	}
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"mpcn/internal/explore"
+)
+
+func baseOptions() options {
+	return options{
+		object:  "safe",
+		ns:      []int{2},
+		xs:      []int{1},
+		ts:      []int{1},
+		crashes: []int{0},
+		steps:   []int{128},
+		probes:  2,
+		workers: 2,
+	}
+}
+
+func exploreCell(t *testing.T, o options, c cell) explore.Stats {
+	t.Helper()
+	newSession, err := sessionFor(o, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := explore.ExploreParallel(newSession, explore.Config{
+		MaxCrashes: c.crashes,
+		MaxSteps:   c.steps,
+		MaxRuns:    o.maxRuns,
+		Workers:    o.workers,
+		Prune:      o.prune,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+// TestSessionsExhaustTinyConfigs: every CLI object yields a session whose
+// tiny configuration the explorer can exhaust without violations.
+func TestSessionsExhaustTinyConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options, *cell)
+	}{
+		{"safe", func(o *options, c *cell) {}},
+		{"safe crash", func(o *options, c *cell) { c.crashes = 1 }},
+		{"xsafe", func(o *options, c *cell) { o.object = "xsafe"; c.x = 2; o.prune = true }},
+		{"commitadopt", func(o *options, c *cell) { o.object = "commitadopt"; c.crashes = 1 }},
+		{"registers pruned", func(o *options, c *cell) { o.object = "registers"; c.n = 3; o.prune = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			c := cell{n: 2, x: 1, t: 1, crashes: 0, steps: 128}
+			tc.mut(&o, &c)
+			stats := exploreCell(t, o, c)
+			if !stats.Exhausted || stats.Runs == 0 {
+				t.Fatalf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+// TestBGSessionBoundedSmoke: the BG simulation tree is explored under a
+// MaxRuns bound and reports partial coverage — the CI-safe smoke mode.
+func TestBGSessionBoundedSmoke(t *testing.T) {
+	o := baseOptions()
+	o.object = "bg"
+	o.maxRuns = 200
+	c := cell{n: 2, x: 1, t: 1, crashes: 0, steps: 400}
+	stats := exploreCell(t, o, c)
+	if stats.Exhausted {
+		t.Fatal("a 200-run bound cannot exhaust the BG tree")
+	}
+	if stats.Runs != 200 {
+		t.Fatalf("runs = %d, want exactly the bound", stats.Runs)
+	}
+}
+
+func TestSessionForRejectsInvalid(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options, *cell)
+	}{
+		{"unknown object", func(o *options, c *cell) { o.object = "nope" }},
+		{"xsafe x>n", func(o *options, c *cell) { o.object = "xsafe"; c.x = 5 }},
+		{"xsafe x<1", func(o *options, c *cell) { o.object = "xsafe"; c.x = 0 }},
+		{"bg t>=n", func(o *options, c *cell) { o.object = "bg"; c.t = 2 }},
+		{"n<1", func(o *options, c *cell) { c.n = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := baseOptions()
+			c := cell{n: 2, x: 1, t: 1}
+			tc.mut(&o, &c)
+			if _, err := sessionFor(o, c); err == nil {
+				t.Fatalf("sessionFor(%+v, %+v) should fail", o, c)
+			}
+		})
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	got, err := parseGrid("1, 2,3")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("parseGrid: %v %v", got, err)
+	}
+	if _, err := parseGrid("1,x"); err == nil {
+		t.Fatal("bad grid accepted")
+	}
+	if _, err := parseGrid(""); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+}
+
+func TestRunSweepEndToEnd(t *testing.T) {
+	code := run(strings.Fields("-object commitadopt -n 2 -crashes 0,1 -prune -compare -workers 2"), io.Discard)
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if code := run(strings.Fields("-object nope"), io.Discard); code == 0 {
+		t.Fatal("unknown object must exit non-zero")
+	}
+	if code := run(strings.Fields("-n bogus"), io.Discard); code == 0 {
+		t.Fatal("bad grid must exit non-zero")
+	}
+}

@@ -6,10 +6,10 @@
 // ASM(n1, t1, x1) and ASM(n2, t2, x2) solve the same colorless decision
 // tasks iff ⌊t1/x1⌋ = ⌊t2/x2⌋.
 //
-// See README.md for the architecture overview, DESIGN.md for the system
-// inventory and per-experiment index, and EXPERIMENTS.md for the
-// paper-claim vs. measured record. The benchmarks in bench_test.go
-// regenerate every figure and table artifact; run them with
+// See README.md for the architecture overview (including the exhaustive
+// explorer); cmd/experiments prints the paper-claim vs. measured record
+// (E1..E16). The benchmarks in bench_test.go regenerate every figure and
+// table artifact; run them with
 //
 //	go test -bench=. -benchmem .
 package mpcn

@@ -1,0 +1,3 @@
+module mpcn
+
+go 1.24

@@ -1,9 +1,11 @@
 package agreement
 
 import (
+	"errors"
+	"fmt"
 	"testing"
-	"testing/quick"
 
+	"mpcn/internal/explore"
 	"mpcn/internal/sched"
 )
 
@@ -170,65 +172,102 @@ func TestCommitAdoptMisuse(t *testing.T) {
 	})
 }
 
-// TestQuickCommitAdopt: the four properties hold for random proposal
-// multisets, schedules and crash patterns.
-func TestQuickCommitAdopt(t *testing.T) {
-	f := func(seed int64, raw []uint8, crashAt uint8) bool {
-		if len(raw) == 0 || len(raw) > 6 {
-			return true
-		}
-		n := len(raw)
-		proposals := make([]any, n)
-		for i, b := range raw {
-			proposals[i] = int(b % 3)
-		}
-		ca := NewCommitAdopt("ca", n)
-		out := make([]caOutcome, n)
-		bodies := make([]sched.Proc, n)
-		for i := range bodies {
-			i := i
-			bodies[i] = func(e *sched.Env) {
-				v, c := ca.Propose(e, proposals[i])
-				out[i] = caOutcome{v: v, committed: c}
-				e.Decide(v)
-			}
-		}
-		adv := sched.NewPlan(sched.NewRandom(seed)).
-			CrashAfterProcSteps(sched.ProcID(int(crashAt)%n), int(crashAt%5)+1)
-		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 10000}, bodies)
-		if err != nil || res.BudgetExhausted {
-			return false
-		}
-		// Re-run the checker logic inline (quick functions cannot t.Fatal).
-		proposed := make(map[any]bool)
-		for _, p := range proposals {
-			proposed[p] = true
-		}
-		var committed any
-		for _, o := range out {
-			if o.v == nil {
-				continue
-			}
-			if !proposed[o.v] {
-				return false
-			}
-			if o.committed {
-				if committed != nil && committed != o.v {
-					return false
+// commitAdoptSession packages one commit-adopt configuration for the
+// exhaustive explorer: every proposer records its (value, committed) result
+// and the checker enforces the four properties plus wait-freedom. The
+// checker treats the result set as a multiset, so it is insensitive to the
+// reordering of commuting operations, as Config.Prune requires.
+func commitAdoptSession(proposals []any) func() explore.Session {
+	n := len(proposals)
+	return func() explore.Session {
+		var outs []caOutcome
+		return explore.Session{
+			Make: func() []sched.Proc {
+				outs = outs[:0]
+				ca := NewCommitAdopt("ca", n)
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					i := i
+					bodies[i] = func(e *sched.Env) {
+						v, c := ca.Propose(e, proposals[i])
+						outs = append(outs, caOutcome{v: v, committed: c})
+						e.Decide(v)
+					}
 				}
-				committed = o.v
-			}
-		}
-		if committed != nil {
-			for _, o := range out {
-				if o.v != nil && o.v != committed {
-					return false
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if res.BudgetExhausted {
+					return errors.New("wedged: commit-adopt must be wait-free")
 				}
-			}
+				proposed := make(map[any]bool)
+				for _, p := range proposals {
+					proposed[p] = true
+				}
+				var committed any
+				for _, o := range outs {
+					if !proposed[o.v] {
+						return fmt.Errorf("non-proposed value %v", o.v)
+					}
+					if o.committed {
+						if committed != nil && committed != o.v {
+							return fmt.Errorf("two commits: %v, %v", committed, o.v)
+						}
+						committed = o.v
+					}
+				}
+				if committed != nil {
+					for _, o := range outs {
+						if o.v != committed {
+							return fmt.Errorf("adopted %v after commit %v", o.v, committed)
+						}
+					}
+				}
+				return nil
+			},
 		}
-		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+}
+
+// TestExhaustiveCommitAdoptProperties replaces the earlier sampled
+// quick-check: the four commit-adopt properties (and wait-freedom) hold on
+// EVERY schedule of 2 distinct proposers with at most one crash — an actual
+// proof for the bounded configuration, not a sweep.
+func TestExhaustiveCommitAdoptProperties(t *testing.T) {
+	s := commitAdoptSession([]any{1, 2})()
+	stats, err := explore.Explore(s.Make, s.Check, explore.Config{MaxCrashes: 1, MaxSteps: 64})
+	if err != nil {
 		t.Fatal(err)
 	}
+	if !stats.Exhausted {
+		t.Fatal("exploration should exhaust")
+	}
+	t.Logf("proved on %d runs (max depth %d)", stats.Runs, stats.MaxDepth)
+}
+
+// TestExhaustiveCommitAdoptThreeProposers widens the proof to 3 proposers
+// (crash-free) using partial-order reduction — the unpruned tree is in the
+// hundreds of thousands of runs — and uses the parallel explorer as the
+// engine, asserting it visits the exact run count of the sequential one
+// (determinism regression).
+func TestExhaustiveCommitAdoptThreeProposers(t *testing.T) {
+	proposals := []any{1, 2, 2}
+	cfg := explore.Config{MaxSteps: 128, Prune: true, Workers: 4}
+	s := commitAdoptSession(proposals)()
+	seq, err := explore.Explore(s.Make, s.Check, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := explore.ExploreParallel(commitAdoptSession(proposals), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Exhausted || !par.Exhausted {
+		t.Fatalf("exhausted: seq=%v par=%v", seq.Exhausted, par.Exhausted)
+	}
+	if seq.Runs != par.Runs || seq.Pruned != par.Pruned {
+		t.Fatalf("parallel/sequential divergence: seq={%d runs, %d pruned} par={%d runs, %d pruned}",
+			seq.Runs, seq.Pruned, par.Runs, par.Pruned)
+	}
+	t.Logf("proved on %d runs (%d branches pruned)", par.Runs, par.Pruned)
 }

@@ -1,9 +1,11 @@
 package agreement
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
+	"mpcn/internal/explore"
 	"mpcn/internal/hierarchy"
 	"mpcn/internal/object"
 	"mpcn/internal/sched"
@@ -273,39 +275,95 @@ func TestXSafeAgreementMisuse(t *testing.T) {
 	})
 }
 
-// TestQuickXSafeAgreementSafety: agreement + validity hold under random
-// schedules and arbitrary single-proc crash timing, for assorted (n, x).
-func TestQuickXSafeAgreementSafety(t *testing.T) {
-	f := func(seed int64, rawN, rawX, crashSteps uint8) bool {
-		n := int(rawN%4) + 2
-		x := int(rawX)%n + 1
-		fac := NewXSafeFactory(n, x, nil)
-		xs := fac.New("xsa")
-		bodies := make([]sched.Proc, n)
-		for i := range bodies {
-			bodies[i] = xsaBody(xs, 100+i)
+// xsafeSession packages one x_safe_agreement configuration for the
+// exhaustive explorer. Deciders probe TryDecide a bounded number of times so
+// the decision tree stays finite; schedules where every owner crashed
+// mid-propose then surface as runs in which no survivor decides (the
+// blocking boundary the unit tests above probe with a step budget).
+func xsafeSession(n, x int) func() explore.Session {
+	return func() explore.Session {
+		var decided []any
+		return explore.Session{
+			Make: func() []sched.Proc {
+				decided = decided[:0]
+				xs := NewXSafeFactory(n, x, nil).New("xsa")
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						xs.Propose(e, v)
+						for p := 0; p < 2; p++ {
+							if got, ok := xs.TryDecide(e); ok {
+								decided = append(decided, got)
+								e.Decide(got)
+								return
+							}
+						}
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				seen := make(map[any]bool)
+				for _, v := range decided {
+					i, ok := v.(int)
+					if !ok || i < 100 || i >= 100+n {
+						return fmt.Errorf("non-proposed value %v decided", v)
+					}
+					seen[v] = true
+				}
+				if len(seen) > 1 {
+					return fmt.Errorf("disagreement: %v", decided)
+				}
+				return nil
+			},
 		}
-		adv := sched.NewPlan(sched.NewRandom(seed)).
-			CrashAfterProcSteps(sched.ProcID(int(crashSteps)%n), int(crashSteps%7)+1)
-		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: 50000}, bodies)
-		if err != nil {
-			return false
-		}
-		if res.DistinctDecided() > 1 {
-			return false
-		}
-		for _, o := range res.Outcomes {
-			if !o.Decided {
-				continue
-			}
-			v, ok := o.Value.(int)
-			if !ok || v < 100 || v >= 100+n {
-				return false
-			}
-		}
-		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
-		t.Fatal(err)
+}
+
+// TestExhaustiveXSafeAgreementSafety replaces the earlier sampled
+// quick-check: agreement + validity of x_safe_agreement hold on EVERY
+// schedule of 2 proposers with at most one crash placed at every possible
+// point, for both x = 1 (the safe_agreement degenerate) and x = 2 — proofs
+// for the bounded configurations, not sweeps.
+func TestExhaustiveXSafeAgreementSafety(t *testing.T) {
+	for _, x := range []int{1, 2} {
+		t.Run(fmt.Sprintf("x=%d", x), func(t *testing.T) {
+			s := xsafeSession(2, x)()
+			stats, err := explore.Explore(s.Make, s.Check, explore.Config{MaxCrashes: 1, MaxSteps: 256})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stats.Exhausted {
+				t.Fatal("exploration should exhaust")
+			}
+			t.Logf("x=%d: proved on %d runs (max depth %d)", x, stats.Runs, stats.MaxDepth)
+		})
+	}
+}
+
+// TestExhaustiveXSafeParallelDeterminism runs the same x = 2 configuration
+// through the parallel explorer and asserts it visits exactly the runs the
+// sequential one does, with and without partial-order reduction.
+func TestExhaustiveXSafeParallelDeterminism(t *testing.T) {
+	for _, prune := range []bool{false, true} {
+		cfg := explore.Config{MaxCrashes: 1, MaxSteps: 256, Workers: 4, Prune: prune}
+		s := xsafeSession(2, 2)()
+		seq, err := explore.Explore(s.Make, s.Check, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := explore.ExploreParallel(xsafeSession(2, 2), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Exhausted || !par.Exhausted {
+			t.Fatalf("prune=%v: exhausted seq=%v par=%v", prune, seq.Exhausted, par.Exhausted)
+		}
+		if seq.Runs != par.Runs || seq.Pruned != par.Pruned {
+			t.Fatalf("prune=%v: divergence seq={%d runs, %d pruned} par={%d runs, %d pruned}",
+				prune, seq.Runs, seq.Pruned, par.Runs, par.Pruned)
+		}
+		t.Logf("prune=%v: %d runs, %d pruned", prune, par.Runs, par.Pruned)
 	}
 }

@@ -203,14 +203,28 @@ func New(cfg Config) (*engineRun, error) {
 // Run executes the simulation under the configured scheduler and returns the
 // combined result.
 func (r *engineRun) Run() (*Result, error) {
+	sres, err := sched.Run(r.cfg.Sched, r.Bodies())
+	if err != nil {
+		return nil, err
+	}
+	return r.Collect(sres), nil
+}
+
+// Bodies returns the simulator process bodies without running them, for
+// callers — such as the exhaustive explorer — that drive sched.Run (or a
+// replaying adversary) themselves. The engine carries per-run shared state,
+// so build a fresh engine via New for every run.
+func (r *engineRun) Bodies() []sched.Proc {
 	bodies := make([]sched.Proc, r.cfg.Simulators)
 	for i := range bodies {
 		bodies[i] = r.simulatorBody(i)
 	}
-	sres, err := sched.Run(r.cfg.Sched, bodies)
-	if err != nil {
-		return nil, err
-	}
+	return bodies
+}
+
+// Collect assembles the simulation-level Result around an externally
+// obtained scheduler result for this engine's bodies.
+func (r *engineRun) Collect(sres *sched.Result) *Result {
 	out := &Result{
 		Sched:              sres,
 		SimulatorDecisions: r.decisions,
@@ -223,7 +237,7 @@ func (r *engineRun) Run() (*Result, error) {
 			out.SimOutputs[j] = r.decisions[i]
 		}
 	}
-	return out, nil
+	return out
 }
 
 // snapAGAt returns SAFE_AG[j, snapsn], creating it on first access. The

@@ -1,9 +1,9 @@
 // Package experiments regenerates every reproducible artifact of the paper
-// (the per-experiment index E1..E15 of DESIGN.md): the behaviour of each
-// figure's algorithm, the §5.4 equivalence-class table, and the solvability
-// frontier of the main theorem. Each experiment returns rows pairing the
-// paper's claim with the measured outcome; cmd/experiments prints them and
-// EXPERIMENTS.md records them.
+// (the per-experiment index E1..E16): the behaviour of each figure's
+// algorithm, the §5.4 equivalence-class table, the solvability frontier of
+// the main theorem, and the exhaustive-coverage proofs of E16. Each
+// experiment returns rows pairing the paper's claim with the measured
+// outcome; cmd/experiments prints them and EXPERIMENTS.md records them.
 package experiments
 
 import (
@@ -102,6 +102,7 @@ func All() []Row {
 	rows = append(rows, E13OmegaBoosting()...)
 	rows = append(rows, E14MLSetAgreement()...)
 	rows = append(rows, E15ImmediateSnapshot()...)
+	rows = append(rows, E16ExhaustiveCoverage()...)
 	return rows
 }
 

@@ -9,12 +9,29 @@
 // for bounded configurations: e.g. safe_agreement's safety holds on *every*
 // schedule of 2 proposers with at most one crash, not just the sampled ones.
 //
+// Two scaling mechanisms keep larger configurations tractable:
+//
+//   - ExploreParallel shards the decision tree across a worker pool. A
+//     breadth-first pass enumerates a frontier of disjoint prefixes, and each
+//     worker then runs the sequential DFS confined to its own subtrees. Runs
+//     are replayed from scratch, so workers share nothing but the work queue
+//     and a run-budget counter; the visited run count is identical to the
+//     sequential explorer's.
+//
+//   - Config.Prune enables partial-order reduction: commuting adjacent
+//     decisions are canonicalized to ascending process order (a sleep-set
+//     style reduction keyed on the step labels' object names), and adjacent
+//     crash placements — which always commute — are likewise canonicalized.
+//     See reduce.go for the soundness conditions.
+//
 // Keep configurations tiny — the tree grows as (runnable + crashes)^steps.
 package explore
 
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"mpcn/internal/sched"
 )
@@ -27,18 +44,91 @@ type Config struct {
 	// with BudgetExhausted set (a livelock-ish schedule, not an error).
 	MaxSteps int
 	// MaxRuns aborts the exploration after this many runs (0 = unlimited).
-	// An aborted exploration returns Stats.Exhausted == false.
+	// An aborted exploration returns Stats.Exhausted == false. The bound is
+	// shared across the workers of a parallel exploration, so sequential and
+	// parallel explorations of the same tree execute the same number of runs.
 	MaxRuns int
+	// Workers sets the worker-pool size of ExploreParallel (ignored by
+	// Explore). Values <= 0 select sched-friendly default parallelism; see
+	// DefaultWorkers.
+	Workers int
+	// Prune enables partial-order reduction: schedules that differ from an
+	// already-explored schedule only in the order of adjacent commuting
+	// decisions are skipped. The reduction is exact for the shared-object
+	// state and the per-process outcomes, but checkers must not distinguish
+	// equivalent interleavings (e.g. must treat harness-side logs as sets,
+	// not sequences). Off by default.
+	Prune bool
+	// Independent overrides the independence predicate used by Prune: it
+	// reports whether the operations behind two step labels commute. nil
+	// selects LabelsIndependent. Predicates must be symmetric and
+	// deterministic.
+	Independent func(a, b string) bool
+}
+
+// withDefaults normalizes the zero-valued fields.
+func (c Config) withDefaults() Config {
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 4096
+	}
+	if c.Workers <= 0 {
+		c.Workers = DefaultWorkers()
+	}
+	if c.Independent == nil {
+		c.Independent = LabelsIndependent
+	}
+	return c
+}
+
+// WorkerStats reports one parallel worker's share of an exploration.
+type WorkerStats struct {
+	// Worker is the worker index (0-based).
+	Worker int
+	// Runs is the number of complete runs the worker executed.
+	Runs int
+	// Pruned is the number of decision alternatives the worker's share of
+	// the tree dropped via reduction.
+	Pruned int
+	// Busy is the wall-clock time the worker spent exploring.
+	Busy time.Duration
+}
+
+// RunsPerSec is the worker's replay throughput.
+func (w WorkerStats) RunsPerSec() float64 {
+	if w.Busy <= 0 {
+		return 0
+	}
+	return float64(w.Runs) / w.Busy.Seconds()
 }
 
 // Stats summarizes an exploration.
 type Stats struct {
-	// Runs is the number of complete runs executed.
+	// Runs is the number of complete runs executed (tree leaves visited; the
+	// frontier probes of a parallel exploration are not counted, so the
+	// parallel and sequential explorers report identical values).
 	Runs int
 	// Exhausted reports whether the whole decision tree was covered.
 	Exhausted bool
 	// MaxDepth is the deepest decision sequence encountered.
 	MaxDepth int
+	// Pruned counts the decision alternatives dropped by reduction, each
+	// counted once at the tree node where it was skipped.
+	Pruned int
+	// Elapsed is the wall-clock duration of the exploration.
+	Elapsed time.Duration
+	// Workers holds the per-worker breakdown of a parallel exploration. It
+	// is nil for the sequential explorer, and also for parallel
+	// explorations the frontier pass resolved on its own (tiny trees, a run
+	// budget that ran dry, or an early violation) — no worker ever ran.
+	Workers []WorkerStats
+}
+
+// RunsPerSec is the overall replay throughput.
+func (s Stats) RunsPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Runs) / s.Elapsed.Seconds()
 }
 
 // choiceKind distinguishes run from crash decisions.
@@ -49,17 +139,21 @@ const (
 	choiceCrash
 )
 
-// choice is one alternative at a decision point.
+// choice is one alternative at a decision point. label is the step label the
+// process was parked on when the choice was made: for run choices the
+// operation the grant executes, for crash choices the operation the process
+// died in front of.
 type choice struct {
-	kind choiceKind
-	id   sched.ProcID
+	kind  choiceKind
+	id    sched.ProcID
+	label string
 }
 
 func (c choice) String() string {
 	if c.kind == choiceCrash {
-		return fmt.Sprintf("crash(%d)", c.id)
+		return fmt.Sprintf("crash(%d@%s)", c.id, c.label)
 	}
-	return fmt.Sprintf("run(%d)", c.id)
+	return fmt.Sprintf("run(%d@%s)", c.id, c.label)
 }
 
 // scripted is the exploring adversary: it follows a prescribed prefix of
@@ -68,26 +162,65 @@ func (c choice) String() string {
 type scripted struct {
 	prefix     []int
 	maxCrashes int
+	prune      bool
+	indep      func(a, b string) bool
 
 	crashes   int
 	taken     []int
 	altCounts []int
+	prunedAt  []int
 	choices   []choice
 }
 
 var _ sched.Adversary = (*scripted)(nil)
 
+func newScripted(prefix []int, cfg Config) *scripted {
+	return &scripted{
+		prefix:     prefix,
+		maxCrashes: cfg.MaxCrashes,
+		prune:      cfg.Prune,
+		indep:      cfg.Independent,
+	}
+}
+
+// alternatives enumerates the decision alternatives at the current node:
+// every runnable process may be granted a step, and — while the crash budget
+// lasts — every runnable process may be crashed instead. With pruning on,
+// alternatives that commute with the previous decision and would produce a
+// non-canonical (descending) order are dropped; see reduce.go.
 func (s *scripted) alternatives(v sched.View) []choice {
 	alts := make([]choice, 0, 2*len(v.Runnable))
 	for _, id := range v.Runnable {
-		alts = append(alts, choice{kind: choiceRun, id: id})
+		alts = append(alts, choice{kind: choiceRun, id: id, label: v.Pending[id]})
 	}
 	if s.crashes < s.maxCrashes {
 		for _, id := range v.Runnable {
-			alts = append(alts, choice{kind: choiceCrash, id: id})
+			alts = append(alts, choice{kind: choiceCrash, id: id, label: v.Pending[id]})
 		}
 	}
-	return alts
+	if !s.prune || len(s.choices) == 0 {
+		s.prunedAt = append(s.prunedAt, 0)
+		return alts
+	}
+	prev := s.choices[len(s.choices)-1]
+	kept := make([]choice, 0, len(alts))
+	for _, c := range alts {
+		if s.canonicallyLater(prev, c) {
+			kept = append(kept, c)
+		}
+	}
+	if len(kept) == 0 {
+		// Every continuation commutes below the previous decision: this
+		// prefix has no canonically-ordered completion. The equivalence
+		// classes below it all have representatives elsewhere in the tree,
+		// but the run must still finish, so fall back to the unfiltered
+		// alternatives (pruning less is always sound, and the fallback is a
+		// deterministic function of the path, which replay requires).
+		s.prunedAt = append(s.prunedAt, 0)
+		return alts
+	}
+	s.prunedAt = append(s.prunedAt, len(alts)-len(kept))
+	return kept
 }
 
 // Next implements sched.Adversary.
@@ -108,9 +241,9 @@ func (s *scripted) Next(v sched.View) sched.Decision {
 	s.choices = append(s.choices, c)
 	if c.kind == choiceCrash {
 		s.crashes++
-		return sched.Decision{Run: -1, Crash: []sched.ProcID{c.id}}
+		return sched.CrashDecision(c.id)
 	}
-	return sched.Decision{Run: c.id}
+	return sched.RunDecision(c.id)
 }
 
 // PropertyError wraps a property violation with the decision script that
@@ -132,45 +265,151 @@ func (e *PropertyError) Unwrap() error { return e.Err }
 // or adversary misbehaviour), which exploration treats as fatal.
 var ErrRunFailed = errors.New("explore: run failed")
 
+// Session couples a process factory with a property checker over shared
+// per-run state. Make must return fresh process bodies (and reset any closure
+// state Check reads) on every call, and runs must be deterministic functions
+// of the decision sequence.
+type Session struct {
+	// Make builds the process bodies of one run.
+	Make func() []sched.Proc
+	// Check validates one complete run; returning a non-nil error stops the
+	// exploration with a PropertyError. Under Config.Prune, Check must not
+	// distinguish runs that differ only in the order of commuting steps.
+	Check func(*sched.Result) error
+}
+
+// runBudget is the shared MaxRuns ticket counter: every complete run takes a
+// ticket before executing, so a parallel exploration executes exactly the
+// same number of runs as a sequential one.
+type runBudget struct {
+	max   int64
+	taken atomic.Int64
+}
+
+func newRunBudget(maxRuns int) *runBudget {
+	return &runBudget{max: int64(maxRuns)}
+}
+
+func (b *runBudget) take() bool {
+	if b.max <= 0 {
+		return true
+	}
+	return b.taken.Add(1) <= b.max
+}
+
+// subtreeStats accumulates one subtree walk.
+type subtreeStats struct {
+	runs     int
+	maxDepth int
+	pruned   int
+	aborted  bool // the run budget ran dry mid-subtree
+}
+
+func (a *subtreeStats) fold(b subtreeStats) {
+	a.runs += b.runs
+	a.pruned += b.pruned
+	if b.maxDepth > a.maxDepth {
+		a.maxDepth = b.maxDepth
+	}
+	a.aborted = a.aborted || b.aborted
+}
+
+// walker runs the stateless DFS over one or more disjoint subtrees.
+type walker struct {
+	cfg     Config
+	session Session
+	budget  *runBudget
+	stop    <-chan struct{} // nil for sequential exploration
+}
+
+func (w *walker) stopped() bool {
+	if w.stop == nil {
+		return false
+	}
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// replay executes one run with the given decision prefix.
+func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
+	adv := newScripted(prefix, w.cfg)
+	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, w.session.Make())
+	if err != nil {
+		return adv, nil, fmt.Errorf("%w: %v (schedule %v)", ErrRunFailed, err, scriptOf(adv))
+	}
+	return adv, res, nil
+}
+
+// explore exhausts the subtree rooted at the node reached by prefix: the
+// prefix decisions are pinned and backtracking happens only at depths >=
+// len(prefix). Pruned-alternative counts are attributed to the first run
+// entering each node, so every tree node is counted exactly once globally.
+func (w *walker) explore(prefix []int) (subtreeStats, error) {
+	var st subtreeStats
+	cur := append([]int(nil), prefix...)
+	newFrom := len(prefix)
+	for {
+		if w.stopped() {
+			return st, nil
+		}
+		if !w.budget.take() {
+			st.aborted = true
+			return st, nil
+		}
+		adv, res, err := w.replay(cur)
+		if err != nil {
+			return st, err
+		}
+		st.runs++
+		if d := len(adv.taken); d > st.maxDepth {
+			st.maxDepth = d
+		}
+		for d := newFrom; d < len(adv.prunedAt); d++ {
+			st.pruned += adv.prunedAt[d]
+		}
+		if cerr := w.session.Check(res); cerr != nil {
+			return st, &PropertyError{Script: scriptOf(adv), Err: cerr}
+		}
+
+		// Backtrack: bump the deepest decision with an untried alternative,
+		// never ascending into the pinned prefix.
+		d := len(adv.taken) - 1
+		for d >= len(prefix) && adv.taken[d]+1 >= adv.altCounts[d] {
+			d--
+		}
+		if d < len(prefix) {
+			return st, nil // subtree exhausted
+		}
+		cur = append(cur[:0], adv.taken[:d]...)
+		cur = append(cur, adv.taken[d]+1)
+		newFrom = d + 1
+	}
+}
+
 // Explore enumerates the decision tree of the processes returned by mk
 // (fresh shared state per run) and applies check to every complete run. It
 // stops at the first property violation.
 func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config) (Stats, error) {
-	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = 4096
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	w := &walker{
+		cfg:     cfg,
+		session: Session{Make: mk, Check: check},
+		budget:  newRunBudget(cfg.MaxRuns),
 	}
-	var stats Stats
-	prefix := []int{}
-	for {
-		adv := &scripted{prefix: prefix, maxCrashes: cfg.MaxCrashes}
-		res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: cfg.MaxSteps}, mk())
-		if err != nil {
-			return stats, fmt.Errorf("%w: %v (schedule %v)", ErrRunFailed, err, scriptOf(adv))
-		}
-		stats.Runs++
-		if d := len(adv.taken); d > stats.MaxDepth {
-			stats.MaxDepth = d
-		}
-		if cerr := check(res); cerr != nil {
-			return stats, &PropertyError{Script: scriptOf(adv), Err: cerr}
-		}
-
-		// Backtrack: bump the deepest decision with an untried alternative.
-		d := len(adv.taken) - 1
-		for d >= 0 && adv.taken[d]+1 >= adv.altCounts[d] {
-			d--
-		}
-		if d < 0 {
-			stats.Exhausted = true
-			return stats, nil
-		}
-		prefix = append(prefix[:0], adv.taken[:d]...)
-		prefix = append(prefix, adv.taken[d]+1)
-
-		if cfg.MaxRuns > 0 && stats.Runs >= cfg.MaxRuns {
-			return stats, nil
-		}
+	st, err := w.explore(nil)
+	stats := Stats{
+		Runs:      st.runs,
+		MaxDepth:  st.maxDepth,
+		Pruned:    st.pruned,
+		Exhausted: err == nil && !st.aborted,
+		Elapsed:   time.Since(start),
 	}
+	return stats, err
 }
 
 func scriptOf(adv *scripted) []string {

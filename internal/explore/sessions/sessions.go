@@ -1,0 +1,257 @@
+// Package sessions provides ready-made explorer sessions for the
+// repository's agreement objects and simulations: the one place where each
+// object's exhaustive-exploration harness (process bodies + property
+// checker) is defined, shared by cmd/explore, the E16 experiment rows and
+// the explorer benchmarks. Checkers are insensitive to the order of
+// commuting operations, so every session is safe under explore.Config.Prune.
+package sessions
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"mpcn/internal/agreement"
+	"mpcn/internal/algorithms"
+	"mpcn/internal/bg"
+	"mpcn/internal/explore"
+	"mpcn/internal/reg"
+	"mpcn/internal/sched"
+	"mpcn/internal/tasks"
+)
+
+// SafeAgreement checks safe_agreement's agreement + validity on every
+// schedule: n proposers proposing 100..100+n-1, each probing TryDecide a
+// bounded number of times so the decision tree stays finite. Schedules
+// where a mid-propose crash blocks the survivors surface as runs in which
+// nobody decides; when starved is non-nil those single-crash runs are
+// counted into it (atomically — the counter is shared across workers).
+func SafeAgreement(n, probes int, starved *atomic.Int64) func() explore.Session {
+	return func() explore.Session {
+		var decided []any
+		return explore.Session{
+			Make: func() []sched.Proc {
+				decided = decided[:0]
+				sa := agreement.NewSafeAgreement("sa", n)
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						sa.Propose(e, v)
+						for p := 0; p < probes; p++ {
+							if got, ok := sa.TryDecide(e); ok {
+								decided = append(decided, got)
+								e.Decide(got)
+								return
+							}
+						}
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if starved != nil && res.Crashes == 1 && res.NumDecided() == 0 {
+					starved.Add(1)
+				}
+				return checkAgreement(decided, n)
+			},
+		}
+	}
+}
+
+// XSafe checks x_safe_agreement the same way for consensus number x.
+func XSafe(n, x, probes int) func() explore.Session {
+	return func() explore.Session {
+		var decided []any
+		return explore.Session{
+			Make: func() []sched.Proc {
+				decided = decided[:0]
+				xs := agreement.NewXSafeFactory(n, x, nil).New("xsa")
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						xs.Propose(e, v)
+						for p := 0; p < probes; p++ {
+							if got, ok := xs.TryDecide(e); ok {
+								decided = append(decided, got)
+								e.Decide(got)
+								return
+							}
+						}
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				return checkAgreement(decided, n)
+			},
+		}
+	}
+}
+
+// CommitAdopt checks the four commit-adopt properties and wait-freedom on
+// every schedule of n proposers proposing 100..100+n-1.
+func CommitAdopt(n int) func() explore.Session {
+	type out struct {
+		v         any
+		committed bool
+	}
+	return func() explore.Session {
+		var outs []out
+		return explore.Session{
+			Make: func() []sched.Proc {
+				outs = outs[:0]
+				ca := agreement.NewCommitAdopt("ca", n)
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						got, c := ca.Propose(e, v)
+						outs = append(outs, out{v: got, committed: c})
+						e.Decide(got)
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if res.BudgetExhausted {
+					return errors.New("commit-adopt wedged: wait-freedom violated")
+				}
+				var committed any
+				for _, o := range outs {
+					if !proposedValue(o.v, n) {
+						return fmt.Errorf("non-proposed value %v", o.v)
+					}
+					if o.committed {
+						if committed != nil && committed != o.v {
+							return fmt.Errorf("two commits: %v, %v", committed, o.v)
+						}
+						committed = o.v
+					}
+				}
+				if committed != nil {
+					for _, o := range outs {
+						if o.v != committed {
+							return fmt.Errorf("adopted %v after commit %v", o.v, committed)
+						}
+					}
+				}
+				return nil
+			},
+		}
+	}
+}
+
+// BG explores the classic Borowsky-Gafni simulation: the t-resilient
+// (t+1)-set algorithm for n simulated processes on t+1 simulators. The
+// returned factory errors if the configuration is invalid. Wedged runs
+// (crash inside a safe_agreement propose) are the expected blocking
+// behaviour, not violations; the checker enforces validity and the
+// (t+1)-set bound on whatever decisions appear.
+func BG(n, t int) (func() explore.Session, error) {
+	inputs := tasks.DistinctInputs(n)
+	mkEngine := func() (interface {
+		Bodies() []sched.Proc
+	}, error) {
+		return bg.New(bg.Config{
+			Alg: algorithms.SnapshotKSet{T: t}, Inputs: inputs, Simulators: t + 1,
+			SourceX: 1, NewAgreement: bg.SafeAgreementProvider(t + 1),
+		})
+	}
+	if _, err := mkEngine(); err != nil {
+		return nil, err
+	}
+	return func() explore.Session {
+		var decisions []any
+		return explore.Session{
+			Make: func() []sched.Proc {
+				engine, err := mkEngine()
+				if err != nil {
+					panic(err) // validated above; per-run construction cannot fail
+				}
+				decisions = decisions[:0]
+				bodies := engine.Bodies()
+				wrapped := make([]sched.Proc, len(bodies))
+				for i, b := range bodies {
+					b := b
+					wrapped[i] = func(e *sched.Env) {
+						b(e)
+						if e.Decided() {
+							decisions = append(decisions, e.Decision())
+						}
+					}
+				}
+				return wrapped
+			},
+			Check: func(res *sched.Result) error {
+				seen := make(map[any]bool)
+				for _, v := range decisions {
+					ok := false
+					for _, in := range inputs {
+						if v == in {
+							ok = true
+							break
+						}
+					}
+					if !ok {
+						return fmt.Errorf("non-proposed simulated value %v", v)
+					}
+					seen[v] = true
+				}
+				if len(seen) > t+1 {
+					return fmt.Errorf("%d distinct decisions exceed the (t+1)-set bound %d", len(seen), t+1)
+				}
+				return nil
+			},
+		}
+	}, nil
+}
+
+// Registers is the independence stress: n processes each writing a private
+// register writes times — the best case for partial-order reduction and the
+// fixed workload of the explorer benchmarks.
+func Registers(n, writes int) func() explore.Session {
+	return func() explore.Session {
+		return explore.Session{
+			Make: func() []sched.Proc {
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					r := reg.New[int](fmt.Sprintf("r%d", i))
+					bodies[i] = func(e *sched.Env) {
+						for j := 1; j <= writes; j++ {
+							r.Write(e, j)
+						}
+						e.Decide(0)
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if res.BudgetExhausted {
+					return errors.New("register writers wedged")
+				}
+				return nil
+			},
+		}
+	}
+}
+
+func checkAgreement(decided []any, n int) error {
+	seen := make(map[any]bool)
+	for _, v := range decided {
+		if !proposedValue(v, n) {
+			return fmt.Errorf("non-proposed value %v decided", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) > 1 {
+		return fmt.Errorf("disagreement: %v", decided)
+	}
+	return nil
+}
+
+func proposedValue(v any, n int) bool {
+	i, ok := v.(int)
+	return ok && i >= 100 && i < 100+n
+}

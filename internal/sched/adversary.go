@@ -36,6 +36,15 @@ type Decision struct {
 	Crash []ProcID
 }
 
+// RunDecision returns the decision granting one step to id.
+func RunDecision(id ProcID) Decision { return Decision{Run: id} }
+
+// CrashDecision returns a crash-only decision: the listed processes crash and
+// no step executes this round — the runtime consults the adversary again.
+// Exploration engines use it to make "crash p" and "run q" separate decision
+// points of the schedule tree.
+func CrashDecision(ids ...ProcID) Decision { return Decision{Run: -1, Crash: ids} }
+
 // Adversary chooses interleavings and crashes. Implementations must be
 // deterministic functions of their own state and the views they receive, so
 // that runs are reproducible.

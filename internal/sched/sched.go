@@ -220,6 +220,13 @@ type runtime struct {
 	steps   int
 	crashes int
 	trace   []TraceEntry
+
+	// runnableBuf backs the View.Runnable slice handed to the adversary each
+	// round. Reusing it keeps the scheduling loop allocation-free, which
+	// matters to replay engines (internal/explore) that execute millions of
+	// short runs; the View contract already limits the slice's lifetime to
+	// the Next call.
+	runnableBuf []ProcID
 }
 
 // ErrNoProcs is returned by Run when no process bodies are supplied.
@@ -256,6 +263,8 @@ func Run(cfg Config, bodies []Proc) (*Result, error) {
 		stepsOf:   make([]int, n),
 		lastLabel: make([]string, n),
 		crashed:   make([]bool, n),
+
+		runnableBuf: make([]ProcID, 0, n),
 	}
 	rt.envs = make([]*Env, n)
 	for i := range rt.envs {
@@ -473,12 +482,13 @@ func (rt *runtime) reapAll(status Status) {
 }
 
 func (rt *runtime) runnable() []ProcID {
-	ids := make([]ProcID, 0, len(rt.state))
+	ids := rt.runnableBuf[:0]
 	for i, s := range rt.state {
 		if s == stateParked {
 			ids = append(ids, ProcID(i))
 		}
 	}
+	rt.runnableBuf = ids
 	return ids
 }
 
