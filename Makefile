@@ -1,7 +1,7 @@
 # Development entry points. CI should run: make build vet test explore-smoke
 GO ?= go
 
-.PHONY: build vet test bench explore-smoke experiments
+.PHONY: build vet test bench bench-json explore-smoke experiments
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,11 @@ test: build vet
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Perf trajectory: exhaustive-sweep throughput (sequential respawning
+# baseline vs session-reuse vs parallel) recorded as BENCH_explore.json.
+bench-json: build
+	$(GO) run ./cmd/benchexplore -o BENCH_explore.json
 
 # Bounded exhaustive-exploration smoke: every cell is capped by -maxruns, so
 # this can never hang CI even on pathological trees (the BG cell alone would

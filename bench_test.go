@@ -509,6 +509,44 @@ func BenchmarkParallelVsSequential(b *testing.B) {
 	})
 }
 
+// BenchmarkSessionReplay measures the session-reuse runtime on the
+// commit-adopt exhaustive sweep (n=2, one crash allowed: 1174 runs). The
+// respawn variant is the PR-1 baseline — a freshly spawned
+// rendezvous-protocol scheduler and a freshly allocated exploring adversary
+// per run — and the session variant is the zero-respawn engine: goroutines
+// spawned once, inline token dispatch, pooled buffers. The acceptance bar is
+// session >= 2x respawn in runs/sec; the state spaces are asserted identical
+// here and verified in depth by explore's TestSessionReuseMatchesRespawn.
+func BenchmarkSessionReplay(b *testing.B) {
+	const wantRuns = 1174
+	variant := func(respawn, parallel bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := explore.Config{MaxCrashes: 1, MaxSteps: 64, Respawn: respawn}
+				var stats explore.Stats
+				var err error
+				if parallel {
+					cfg.Workers = 4
+					stats, err = explore.ExploreParallel(sessions.CommitAdopt(2), cfg)
+				} else {
+					s := sessions.CommitAdopt(2)()
+					stats, err = explore.Explore(s.Make, s.Check, cfg)
+				}
+				if err != nil || !stats.Exhausted {
+					b.Fatal(err)
+				}
+				if stats.Runs != wantRuns {
+					b.Fatalf("runs = %d, want %d", stats.Runs, wantRuns)
+				}
+				b.ReportMetric(stats.RunsPerSec(), "runs/sec")
+			}
+		}
+	}
+	b.Run("respawn", variant(true, false))
+	b.Run("session", variant(false, false))
+	b.Run("parallel-session", variant(false, true))
+}
+
 // BenchmarkCommitAdopt measures one commit-adopt round under contention.
 func BenchmarkCommitAdopt(b *testing.B) {
 	for _, n := range []int{2, 4, 8} {

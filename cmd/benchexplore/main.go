@@ -1,0 +1,157 @@
+// Command benchexplore records the exhaustive-exploration throughput
+// trajectory: it runs the commit-adopt and x-safe exhaustive sweeps under
+// three engines — the PR-1 style sequential respawning explorer, the
+// sequential session-reuse explorer, and the parallel session-backed worker
+// pool — and writes the runs/sec results as JSON (BENCH_explore.json via
+// `make bench-json`). Every cell asserts the engines visited identical state
+// spaces before reporting, so a number in the file is also a passed
+// determinism check.
+//
+// Usage:
+//
+//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/sessions"
+)
+
+// sweep is one benchmarked workload cell.
+type sweep struct {
+	name       string
+	newSession func() explore.Session
+	cfg        explore.Config
+}
+
+// Record is one engine measurement of one sweep, as serialized.
+type Record struct {
+	Sweep      string  `json:"sweep"`
+	Engine     string  `json:"engine"`
+	Runs       int     `json:"runs"`
+	Pruned     int     `json:"pruned"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// Report is the file layout of BENCH_explore.json.
+type Report struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	GoVersion     string   `json:"go_version"`
+	NumCPU        int      `json:"num_cpu"`
+	Workers       int      `json:"workers"`
+	Reps          int      `json:"reps"`
+	Records       []Record `json:"records"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_explore.json", "output file")
+	workers := flag.Int("workers", 0, "parallel worker-pool size (<= 0 selects the default)")
+	reps := flag.Int("reps", 3, "repetitions per cell; the best rep is reported")
+	flag.Parse()
+	if err := run(*out, *workers, *reps); err != nil {
+		fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, workers, reps int) error {
+	if workers <= 0 {
+		workers = explore.DefaultWorkers()
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	sweeps := []sweep{
+		{"commitadopt/n=2", sessions.CommitAdopt(2), explore.Config{MaxSteps: 64}},
+		{"commitadopt/n=2/crashes=1", sessions.CommitAdopt(2), explore.Config{MaxCrashes: 1, MaxSteps: 64}},
+		{"xsafe/n=2/x=1/crashes=1", sessions.XSafe(2, 1, 2), explore.Config{MaxCrashes: 1, MaxSteps: 256}},
+		{"xsafe/n=2/x=2/crashes=1", sessions.XSafe(2, 2, 2), explore.Config{MaxCrashes: 1, MaxSteps: 256}},
+	}
+	report := Report{
+		GeneratedUnix: time.Now().Unix(),
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Workers:       workers,
+		Reps:          reps,
+	}
+	for _, sw := range sweeps {
+		var baseline explore.Stats
+		for _, engine := range []string{"sequential-respawn", "sequential-session", "parallel-session"} {
+			best, err := measure(sw, engine, workers, reps)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", sw.name, engine, err)
+			}
+			if engine == "sequential-respawn" {
+				baseline = best
+			} else if best.Runs != baseline.Runs || best.Pruned != baseline.Pruned {
+				return fmt.Errorf("%s/%s: state space diverged from the respawn baseline: %d/%d vs %d/%d runs/pruned",
+					sw.name, engine, best.Runs, best.Pruned, baseline.Runs, baseline.Pruned)
+			}
+			rec := Record{
+				Sweep:      sw.name,
+				Engine:     engine,
+				Runs:       best.Runs,
+				Pruned:     best.Pruned,
+				ElapsedSec: best.Elapsed.Seconds(),
+				RunsPerSec: best.RunsPerSec(),
+			}
+			report.Records = append(report.Records, rec)
+			fmt.Printf("%-28s %-20s %8d runs %10.0f runs/sec\n",
+				sw.name, engine, rec.Runs, rec.RunsPerSec)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// measure runs one (sweep, engine) cell reps times and returns the fastest
+// exhausted run.
+func measure(sw sweep, engine string, workers, reps int) (explore.Stats, error) {
+	var best explore.Stats
+	for r := 0; r < reps; r++ {
+		cfg := sw.cfg
+		var stats explore.Stats
+		var err error
+		switch engine {
+		case "sequential-respawn":
+			cfg.Respawn = true
+			s := sw.newSession()
+			stats, err = explore.Explore(s.Make, s.Check, cfg)
+		case "sequential-session":
+			s := sw.newSession()
+			stats, err = explore.Explore(s.Make, s.Check, cfg)
+		case "parallel-session":
+			cfg.Workers = workers
+			stats, err = explore.ExploreParallel(sw.newSession, cfg)
+		default:
+			return best, fmt.Errorf("unknown engine %q", engine)
+		}
+		if err != nil {
+			return best, err
+		}
+		if !stats.Exhausted {
+			return best, fmt.Errorf("sweep did not exhaust")
+		}
+		if r == 0 || stats.Elapsed < best.Elapsed {
+			best = stats
+		}
+	}
+	return best, nil
+}

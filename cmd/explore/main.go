@@ -55,6 +55,7 @@ type options struct {
 	prune   bool
 	compare bool
 	seq     bool
+	respawn bool
 }
 
 func run(args []string, out io.Writer) int {
@@ -73,6 +74,7 @@ func run(args []string, out io.Writer) int {
 	fs.BoolVar(&o.prune, "prune", false, "enable partial-order reduction")
 	fs.BoolVar(&o.compare, "compare", false, "verify the parallel run count against the sequential explorer")
 	fs.BoolVar(&o.seq, "seq", false, "use the sequential explorer only")
+	fs.BoolVar(&o.respawn, "respawn", false, "respawn the scheduler per run (pre-session baseline; for comparisons)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -151,6 +153,7 @@ func sweep(o options, out io.Writer) error {
 			MaxRuns:    o.maxRuns,
 			Workers:    o.workers,
 			Prune:      o.prune,
+			Respawn:    o.respawn,
 		}
 		var stats explore.Stats
 		if o.seq {

@@ -6,6 +6,14 @@
 // ASM(n1, t1, x1) and ASM(n2, t2, x2) solve the same colorless decision
 // tasks iff ⌊t1/x1⌋ = ⌊t2/x2⌋.
 //
+// The execution substrate is internal/sched: a deterministic single-runner
+// scheduler whose step labels are interned (sched.Label) and whose runtime
+// is a reusable sched.Session — process goroutines are spawned once, park
+// between runs, and are reset per run, with scheduling decisions dispatched
+// inline on the process goroutines themselves. The exhaustive explorer
+// (internal/explore) replays millions of runs per sweep on one Session per
+// worker; sched.Run remains the one-shot entry point for single runs.
+//
 // See README.md for the architecture overview (including the exhaustive
 // explorer); cmd/experiments prints the paper-claim vs. measured record
 // (E1..E16). The benchmarks in bench_test.go regenerate every figure and

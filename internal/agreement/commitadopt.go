@@ -23,7 +23,7 @@ import (
 type CommitAdopt struct {
 	name  string
 	phase [2]snapshot.Snapshot[caCell]
-	done  map[sched.ProcID]bool
+	done  []bool
 }
 
 // caCell is one process's entry in a phase memory.
@@ -43,7 +43,7 @@ func NewCommitAdopt(name string, n int) *CommitAdopt {
 			snapshot.NewPrimitive[caCell](name+".ph1", n),
 			snapshot.NewPrimitive[caCell](name+".ph2", n),
 		},
-		done: make(map[sched.ProcID]bool),
+		done: make([]bool, n),
 	}
 }
 

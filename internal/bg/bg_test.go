@@ -31,11 +31,26 @@ func validateColorless(t *testing.T, task tasks.Task, inputs []any, r *Result) {
 
 func TestClassicBGFailureFree(t *testing.T) {
 	// n = 6 simulated processes, t = 2: the 2-resilient 3-set algorithm runs
-	// on 3 simulators; all simulators decide legal values.
+	// on 3 simulators; all simulators decide legal values. The seed sweep
+	// drives fresh engines over one reusable scheduler session (the RunOn
+	// driver path).
 	const n, tRes = 6, 2
 	inputs := tasks.DistinctInputs(n)
+	session, err := sched.NewSession(tRes + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
 	for seed := int64(0); seed < 8; seed++ {
-		r, err := Simulate(algorithms.SnapshotKSet{T: tRes}, inputs, tRes, sched.Config{Seed: seed})
+		run, err := New(Config{
+			Alg: algorithms.SnapshotKSet{T: tRes}, Inputs: inputs, Simulators: tRes + 1,
+			SourceX: 1, NewAgreement: SafeAgreementProvider(tRes + 1),
+			Sched: sched.Config{Seed: seed},
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r, err := run.RunOn(session)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

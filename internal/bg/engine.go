@@ -210,6 +210,20 @@ func (r *engineRun) Run() (*Result, error) {
 	return r.Collect(sres), nil
 }
 
+// RunOn executes the simulation on a reusable scheduler session (which must
+// have Simulators processes). Sweep drivers that execute many simulations of
+// the same shape reuse one session across engines instead of respawning the
+// runtime per run; the engine itself still carries per-run shared state, so
+// build a fresh engine via New for every run. The returned Result aliases
+// the session's pooled buffers, which the session's next run overwrites.
+func (r *engineRun) RunOn(s *sched.Session) (*Result, error) {
+	sres, err := s.Run(r.cfg.Sched, r.Bodies())
+	if err != nil {
+		return nil, err
+	}
+	return r.Collect(sres), nil
+}
+
 // Bodies returns the simulator process bodies without running them, for
 // callers — such as the exhaustive explorer — that drive sched.Run (or a
 // replaying adversary) themselves. The engine carries per-run shared state,

@@ -112,19 +112,27 @@ func All() []Row {
 func E1SafeAgreement() []Row {
 	const n = 4
 	agreeOK := true
-	for seed := int64(0); seed < 10; seed++ {
-		sa := agreement.NewSafeAgreement("sa", n)
-		bodies := make([]sched.Proc, n)
-		for i := range bodies {
-			v := 100 + i
-			bodies[i] = func(e *sched.Env) {
-				sa.Propose(e, v)
-				e.Decide(sa.Decide(e))
+	// One reusable runtime session serves the whole seed sweep: only the
+	// shared object and the bodies' closure state are rebuilt per run.
+	session, err := sched.NewSession(n)
+	if err != nil {
+		agreeOK = false
+	} else {
+		defer session.Close()
+		for seed := int64(0); seed < 10; seed++ {
+			sa := agreement.NewSafeAgreement("sa", n)
+			bodies := make([]sched.Proc, n)
+			for i := range bodies {
+				v := 100 + i
+				bodies[i] = func(e *sched.Env) {
+					sa.Propose(e, v)
+					e.Decide(sa.Decide(e))
+				}
 			}
-		}
-		res, err := sched.Run(sched.Config{Seed: seed}, bodies)
-		if err != nil || res.NumDecided() != n || res.DistinctDecided() != 1 {
-			agreeOK = false
+			res, err := session.Run(sched.Config{Seed: seed}, bodies)
+			if err != nil || res.NumDecided() != n || res.DistinctDecided() != 1 {
+				agreeOK = false
+			}
 		}
 	}
 

@@ -60,10 +60,17 @@ type Config struct {
 	// not sequences). Off by default.
 	Prune bool
 	// Independent overrides the independence predicate used by Prune: it
-	// reports whether the operations behind two step labels commute. nil
-	// selects LabelsIndependent. Predicates must be symmetric and
+	// reports whether the operations behind two interned step labels commute.
+	// nil selects LabelsIndependent. Predicates must be symmetric and
 	// deterministic.
-	Independent func(a, b string) bool
+	Independent func(a, b sched.Label) bool
+	// Respawn disables the session-reuse runtime and replays every run the
+	// way the explorer worked before the Session refactor: a freshly spawned
+	// scheduler per run over the strict rendezvous handoff, with a freshly
+	// allocated exploring adversary. It exists as the baseline of the
+	// session-reuse benchmarks and regression tests; the visited tree is
+	// identical either way.
+	Respawn bool
 }
 
 // withDefaults normalizes the zero-valued fields.
@@ -139,14 +146,14 @@ const (
 	choiceCrash
 )
 
-// choice is one alternative at a decision point. label is the step label the
-// process was parked on when the choice was made: for run choices the
-// operation the grant executes, for crash choices the operation the process
-// died in front of.
+// choice is one alternative at a decision point. label is the interned step
+// label the process was parked on when the choice was made: for run choices
+// the operation the grant executes, for crash choices the operation the
+// process died in front of.
 type choice struct {
 	kind  choiceKind
 	id    sched.ProcID
-	label string
+	label sched.Label
 }
 
 func (c choice) String() string {
@@ -158,38 +165,63 @@ func (c choice) String() string {
 
 // scripted is the exploring adversary: it follows a prescribed prefix of
 // alternative indices and takes the first alternative beyond it, recording
-// the branching structure for backtracking.
+// the branching structure for backtracking. One scripted instance is reused
+// across all replays of a walker — reset rewinds it — so the per-decision
+// bookkeeping slices and the alternative buffers are allocated once and stay
+// warm for millions of runs.
 type scripted struct {
 	prefix     []int
 	maxCrashes int
 	prune      bool
-	indep      func(a, b string) bool
+	indep      func(a, b sched.Label) bool
 
 	crashes   int
 	taken     []int
 	altCounts []int
 	prunedAt  []int
 	choices   []choice
+
+	// allocEachNext restores the pre-Session behavior of allocating the
+	// alternative slices on every decision (the Respawn baseline); the
+	// default reuses altsBuf/keptBuf across decisions and runs.
+	allocEachNext bool
+	altsBuf       []choice // backs alternatives' unfiltered enumeration
+	keptBuf       []choice // backs the prune-filtered enumeration
 }
 
 var _ sched.Adversary = (*scripted)(nil)
 
 func newScripted(prefix []int, cfg Config) *scripted {
 	return &scripted{
-		prefix:     prefix,
-		maxCrashes: cfg.MaxCrashes,
-		prune:      cfg.Prune,
-		indep:      cfg.Independent,
+		prefix:        prefix,
+		maxCrashes:    cfg.MaxCrashes,
+		prune:         cfg.Prune,
+		indep:         cfg.Independent,
+		allocEachNext: cfg.Respawn,
 	}
+}
+
+// reset rewinds the adversary for the next replay, keeping its buffers.
+func (s *scripted) reset(prefix []int) {
+	s.prefix = prefix
+	s.crashes = 0
+	s.taken = s.taken[:0]
+	s.altCounts = s.altCounts[:0]
+	s.prunedAt = s.prunedAt[:0]
+	s.choices = s.choices[:0]
 }
 
 // alternatives enumerates the decision alternatives at the current node:
 // every runnable process may be granted a step, and — while the crash budget
 // lasts — every runnable process may be crashed instead. With pruning on,
 // alternatives that commute with the previous decision and would produce a
-// non-canonical (descending) order are dropped; see reduce.go.
+// non-canonical (descending) order are dropped; see reduce.go. The returned
+// slice aliases the adversary's buffers and is valid until the next call.
 func (s *scripted) alternatives(v sched.View) []choice {
-	alts := make([]choice, 0, 2*len(v.Runnable))
+	alts := s.altsBuf[:0]
+	if s.allocEachNext {
+		alts = make([]choice, 0, 2*len(v.Runnable))
+	}
 	for _, id := range v.Runnable {
 		alts = append(alts, choice{kind: choiceRun, id: id, label: v.Pending[id]})
 	}
@@ -198,17 +230,22 @@ func (s *scripted) alternatives(v sched.View) []choice {
 			alts = append(alts, choice{kind: choiceCrash, id: id, label: v.Pending[id]})
 		}
 	}
+	s.altsBuf = alts
 	if !s.prune || len(s.choices) == 0 {
 		s.prunedAt = append(s.prunedAt, 0)
 		return alts
 	}
 	prev := s.choices[len(s.choices)-1]
-	kept := make([]choice, 0, len(alts))
+	kept := s.keptBuf[:0]
+	if s.allocEachNext {
+		kept = make([]choice, 0, len(alts))
+	}
 	for _, c := range alts {
 		if s.canonicallyLater(prev, c) {
 			kept = append(kept, c)
 		}
 	}
+	s.keptBuf = kept
 	if len(kept) == 0 {
 		// Every continuation commutes below the previous decision: this
 		// prefix has no canonically-ordered completion. The equivalence
@@ -267,8 +304,9 @@ var ErrRunFailed = errors.New("explore: run failed")
 
 // Session couples a process factory with a property checker over shared
 // per-run state. Make must return fresh process bodies (and reset any closure
-// state Check reads) on every call, and runs must be deterministic functions
-// of the decision sequence.
+// state Check reads) on every call, the same number each time, and runs must
+// be deterministic functions of the decision sequence. (This is the checking
+// harness; the runtime the walker replays it on is a sched.Session.)
 type Session struct {
 	// Make builds the process bodies of one run.
 	Make func() []sched.Proc
@@ -314,12 +352,18 @@ func (a *subtreeStats) fold(b subtreeStats) {
 	a.aborted = a.aborted || b.aborted
 }
 
-// walker runs the stateless DFS over one or more disjoint subtrees.
+// walker runs the stateless DFS over one or more disjoint subtrees. Each
+// walker owns one reusable sched.Session (its process goroutines are spawned
+// once and parked between replays) and one reusable scripted adversary, so a
+// replay's only per-run work is resetting state and re-executing the steps.
 type walker struct {
 	cfg     Config
 	session Session
 	budget  *runBudget
 	stop    <-chan struct{} // nil for sequential exploration
+
+	rt  *sched.Session // lazily sized to the harness's process count
+	adv *scripted
 }
 
 func (w *walker) stopped() bool {
@@ -334,10 +378,45 @@ func (w *walker) stopped() bool {
 	}
 }
 
-// replay executes one run with the given decision prefix.
+// close releases the walker's runtime goroutines.
+func (w *walker) close() {
+	if w.rt != nil {
+		w.rt.Close()
+		w.rt = nil
+	}
+}
+
+// replay executes one run with the given decision prefix. The returned
+// Result is owned by the walker's runtime and valid until the next replay.
 func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
-	adv := newScripted(prefix, w.cfg)
-	res, err := sched.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, w.session.Make())
+	bodies := w.session.Make()
+	var adv *scripted
+	var res *sched.Result
+	var err error
+	if w.cfg.Respawn {
+		// Baseline mode: fresh adversary, fresh rendezvous-protocol runtime,
+		// exactly as the explorer worked before the session-reuse refactor.
+		adv = newScripted(prefix, w.cfg)
+		var rt *sched.Session
+		rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Rendezvous: true})
+		if err == nil {
+			res, err = rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, bodies)
+			rt.Close()
+		}
+	} else {
+		if w.adv == nil {
+			w.adv = newScripted(nil, w.cfg)
+		}
+		adv = w.adv
+		adv.reset(prefix)
+		if w.rt == nil || w.rt.N() != len(bodies) {
+			w.close()
+			w.rt, err = sched.NewSession(len(bodies))
+		}
+		if err == nil {
+			res, err = w.rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, bodies)
+		}
+	}
 	if err != nil {
 		return adv, nil, fmt.Errorf("%w: %v (schedule %v)", ErrRunFailed, err, scriptOf(adv))
 	}
@@ -401,6 +480,7 @@ func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config
 		session: Session{Make: mk, Check: check},
 		budget:  newRunBudget(cfg.MaxRuns),
 	}
+	defer w.close()
 	st, err := w.explore(nil)
 	stats := Stats{
 		Runs:      st.runs,

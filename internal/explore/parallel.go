@@ -42,6 +42,7 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	// Phase 1: enumerate a frontier of disjoint subtree prefixes, counting
 	// (and checking) any complete runs shallower than the frontier.
 	probe := &walker{cfg: cfg, session: newSession(), budget: budget}
+	defer probe.close()
 	frontier, base, err := buildFrontier(probe, cfg.Workers*frontierPerWorker)
 	if err != nil || base.aborted || len(frontier) == 0 {
 		return Stats{
@@ -92,6 +93,7 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 				}
 			}()
 			w := &walker{cfg: cfg, session: sessions[k], budget: budget, stop: stop}
+			defer w.close()
 			for prefix := range work {
 				st, err := w.explore(prefix)
 				out.ws.Runs += st.runs

@@ -26,6 +26,13 @@
 //     granted code may consult the Leader/LeaderSet oracles, which observe
 //     the crash state.
 //
+// Labels arrive interned (sched.Label), and the object-name parsing behind
+// the independence judgment is done once per label: a Label-indexed side
+// table caches each label's object, cell base and read-only flag, with the
+// object names themselves interned back into the label table. The per-step
+// commuting check is therefore a handful of integer compares — no string
+// formatting, hashing or allocation on the replay path.
+//
 // Soundness caveat: the canonical run is equivalent to the pruned ones in
 // shared-object state and per-process outcomes, but harness bookkeeping done
 // inside process bodies (e.g. appending to a shared log) may observe the
@@ -37,6 +44,8 @@ package explore
 import (
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"mpcn/internal/sched"
 )
@@ -67,23 +76,83 @@ func (s *scripted) canonicallyLater(prev, c choice) bool {
 	}
 }
 
+// labelMeta is the cached independence-relevant structure of one label.
+type labelMeta struct {
+	// obj is the interned shared-object part of the label
+	// ("xsa.SM.scan" -> "xsa.SM", "mem[3].write" -> "mem[3]").
+	obj sched.Label
+	// base is the interned cell base when obj is an indexed cell
+	// ("mem[3]" -> "mem"), LabelNone otherwise.
+	base sched.Label
+	// readOnly marks operations known not to mutate their object.
+	readOnly bool
+}
+
+// metaTable is the Label-indexed cache of labelMeta. Lookups are lock-free
+// on an immutable snapshot; a miss (a label interned after the last snapshot)
+// extends the table under the mutex. sched.Label values are dense, so the
+// table is a plain slice.
+var metaTable struct {
+	mu sync.Mutex
+	p  atomic.Pointer[[]labelMeta]
+}
+
+func metaOf(l sched.Label) labelMeta {
+	if ms := metaTable.p.Load(); ms != nil && int(l) < len(*ms) {
+		return (*ms)[l]
+	}
+	metaTable.mu.Lock()
+	defer metaTable.mu.Unlock()
+	var old []labelMeta
+	if ms := metaTable.p.Load(); ms != nil {
+		old = *ms
+		if int(l) < len(old) {
+			return old[l]
+		}
+	}
+	// Extend to cover every label interned so far (at least l).
+	n := sched.NumLabels()
+	if n <= int(l) {
+		n = int(l) + 1
+	}
+	ms := make([]labelMeta, n)
+	copy(ms, old)
+	for i := len(old); i < n; i++ {
+		ms[i] = computeMeta(sched.Label(i).String())
+	}
+	metaTable.p.Store(&ms)
+	return ms[l]
+}
+
+func computeMeta(label string) labelMeta {
+	obj := labelObject(label)
+	m := labelMeta{obj: sched.Intern(obj), readOnly: labelReadOnly(label)}
+	if base, ok := cellBase(obj); ok {
+		m.base = sched.Intern(base)
+	}
+	return m
+}
+
 // LabelsIndependent is the default independence predicate of Config.Prune:
 // two step labels commute when they address non-conflicting shared objects,
 // or when both are read-only operations on the same object. The object is
-// the label up to its final '.'-separated component ("xsa.SM.scan" ->
-// "xsa.SM", "mem[3].write" -> "mem[3]"), matching the labelling convention
-// of the reg, snapshot and object packages. A cell conflicts with its
-// enclosing whole-object operations ("SM[0].update" vs "SM.scan") but not
+// the label up to its final '.'-separated component, matching the labelling
+// convention of the reg, snapshot and object packages. A cell conflicts with
+// its enclosing whole-object operations ("SM[0].update" vs "SM.scan") but not
 // with its sibling cells ("mem[0]" vs "mem[1]"). The synthetic start label
 // commutes with everything: the prologue it grants runs no labelled
 // operation, and the sched discipline places all shared access inside
 // labelled operations.
-func LabelsIndependent(a, b string) bool {
-	if a == sched.StartLabel || b == sched.StartLabel {
+func LabelsIndependent(a, b sched.Label) bool {
+	if a == sched.LabelStart || b == sched.LabelStart {
 		return true
 	}
-	if objectsConflict(labelObject(a), labelObject(b)) {
-		return labelReadOnly(a) && labelReadOnly(b)
+	ma, mb := metaOf(a), metaOf(b)
+	conflict := ma.obj == mb.obj ||
+		(ma.base != sched.LabelNone && ma.base == mb.obj) ||
+		(mb.base != sched.LabelNone && mb.base == ma.obj)
+	if conflict {
+		return ma.readOnly && mb.readOnly
 	}
 	return true
 }
@@ -94,22 +163,6 @@ func labelObject(label string) string {
 		return label[:i]
 	}
 	return label
-}
-
-// objectsConflict reports whether two object names may denote overlapping
-// state: the same object, or a cell of an indexed object ("mem[3]") against
-// an operation on the whole object ("mem", as in a snapshot scan).
-func objectsConflict(a, b string) bool {
-	if a == b {
-		return true
-	}
-	if base, ok := cellBase(a); ok && base == b {
-		return true
-	}
-	if base, ok := cellBase(b); ok && base == a {
-		return true
-	}
-	return false
 }
 
 // cellBase strips a trailing index group: "mem[3]" -> ("mem", true).

@@ -27,10 +27,11 @@ func TestLabelsIndependent(t *testing.T) {
 		{"plain", "plain", false},                // dot-free labels are their own object
 	}
 	for _, tc := range cases {
-		if got := LabelsIndependent(tc.a, tc.b); got != tc.want {
+		a, b := sched.Intern(tc.a), sched.Intern(tc.b)
+		if got := LabelsIndependent(a, b); got != tc.want {
 			t.Errorf("LabelsIndependent(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
 		}
-		if got := LabelsIndependent(tc.b, tc.a); got != tc.want {
+		if got := LabelsIndependent(b, a); got != tc.want {
 			t.Errorf("predicate must be symmetric: (%q, %q)", tc.b, tc.a)
 		}
 	}
@@ -166,7 +167,7 @@ func TestPruneStillFindsViolations(t *testing.T) {
 // TestPruneCustomIndependence: a custom predicate overrides the label-based
 // default — declaring everything dependent disables run-run pruning.
 func TestPruneCustomIndependence(t *testing.T) {
-	dependent := func(a, b string) bool { return false }
+	dependent := func(a, b sched.Label) bool { return false }
 	s := registersSession(3, 2)()
 	plain, err := Explore(s.Make, s.Check, Config{})
 	if err != nil {

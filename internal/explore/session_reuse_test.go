@@ -1,0 +1,112 @@
+package explore_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/sessions"
+	"mpcn/internal/sched"
+)
+
+// Aliases keep the test bodies readable from the external test package (the
+// sessions harness package imports explore, so these tests cannot live in
+// the internal test package).
+type (
+	Session       = explore.Session
+	Config        = explore.Config
+	PropertyError = explore.PropertyError
+)
+
+var (
+	Explore         = explore.Explore
+	ExploreParallel = explore.ExploreParallel
+)
+
+// TestSessionReuseMatchesRespawn is the session-reuse acceptance regression:
+// the session-backed explorer must visit exactly the state space the PR-1
+// respawning explorer visited — identical visited-run counts, pruned-branch
+// counts, depths and exhaustion verdicts — on the commit-adopt exhaustive
+// sweep, with and without crashes and partial-order reduction, and likewise
+// for the x-safe sweep and the parallel engine.
+func TestSessionReuseMatchesRespawn(t *testing.T) {
+	cases := []struct {
+		name       string
+		newSession func() Session
+		cfg        Config
+	}{
+		{"commitadopt/n=2", sessions.CommitAdopt(2), Config{MaxSteps: 64}},
+		{"commitadopt/n=2/crashes=1", sessions.CommitAdopt(2), Config{MaxCrashes: 1, MaxSteps: 64}},
+		{"commitadopt/n=2/crashes=1/prune", sessions.CommitAdopt(2), Config{MaxCrashes: 1, MaxSteps: 64, Prune: true}},
+		{"xsafe/n=2/x=2/crashes=1", sessions.XSafe(2, 2, 2), Config{MaxCrashes: 1, MaxSteps: 256}},
+		{"registers/n=3/prune", sessions.Registers(3, 2), Config{Prune: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			respawnCfg := tc.cfg
+			respawnCfg.Respawn = true
+			s := tc.newSession()
+			baseline, err := Explore(s.Make, s.Check, respawnCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s = tc.newSession()
+			reused, err := Explore(s.Make, s.Check, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reused.Runs != baseline.Runs || reused.Pruned != baseline.Pruned ||
+				reused.MaxDepth != baseline.MaxDepth || reused.Exhausted != baseline.Exhausted {
+				t.Fatalf("session-reuse diverged from respawn baseline:\nreuse:   %+v\nrespawn: %+v",
+					reused, baseline)
+			}
+			if baseline.Runs == 0 || !baseline.Exhausted {
+				t.Fatalf("baseline did not explore: %+v", baseline)
+			}
+			// The parallel engine (session-backed workers) must agree too.
+			par, err := ExploreParallel(tc.newSession, tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if par.Runs != baseline.Runs || par.Pruned != baseline.Pruned || !par.Exhausted {
+				t.Fatalf("parallel session engine diverged: par=%+v baseline=%+v", par, baseline)
+			}
+		})
+	}
+}
+
+// TestSessionReuseByteIdenticalScripts: on a property violation, the failing
+// decision script surfaced by the session-backed explorer is identical to
+// the respawning explorer's — the counterexamples users replay are
+// unaffected by the runtime swap.
+func TestSessionReuseByteIdenticalScripts(t *testing.T) {
+	script := func(respawn bool) []string {
+		s := sessions.Registers(2, 2)()
+		runs := 0
+		inner := s.Check
+		s.Check = func(res *sched.Result) error {
+			if err := inner(res); err != nil {
+				return err
+			}
+			runs++
+			if runs == 5 {
+				return errors.New("synthetic violation on the 5th run")
+			}
+			return nil
+		}
+		_, err := Explore(s.Make, s.Check, Config{MaxCrashes: 1, Respawn: respawn})
+		var pe *PropertyError
+		if !errors.As(err, &pe) {
+			t.Fatalf("want PropertyError, got %v", err)
+		}
+		return pe.Script
+	}
+	baseline, reused := script(true), script(false)
+	if len(baseline) == 0 {
+		t.Fatal("empty counterexample script")
+	}
+	if fmt.Sprint(baseline) != fmt.Sprint(reused) {
+		t.Fatalf("counterexample scripts differ:\nrespawn: %v\nreuse:   %v", baseline, reused)
+	}
+}

@@ -91,7 +91,10 @@ func XSafe(n, x, probes int) func() explore.Session {
 }
 
 // CommitAdopt checks the four commit-adopt properties and wait-freedom on
-// every schedule of n proposers proposing 100..100+n-1.
+// every schedule of n proposers proposing 100..100+n-1. The process bodies
+// are built once per session and close over the current run's object, so
+// Make only rebuilds the shared state (replay engines call it millions of
+// times).
 func CommitAdopt(n int) func() explore.Session {
 	type out struct {
 		v         any
@@ -99,19 +102,20 @@ func CommitAdopt(n int) func() explore.Session {
 	}
 	return func() explore.Session {
 		var outs []out
+		var ca *agreement.CommitAdopt
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			v := 100 + i
+			bodies[i] = func(e *sched.Env) {
+				got, c := ca.Propose(e, v)
+				outs = append(outs, out{v: got, committed: c})
+				e.Decide(got)
+			}
+		}
 		return explore.Session{
 			Make: func() []sched.Proc {
 				outs = outs[:0]
-				ca := agreement.NewCommitAdopt("ca", n)
-				bodies := make([]sched.Proc, n)
-				for i := range bodies {
-					v := 100 + i
-					bodies[i] = func(e *sched.Env) {
-						got, c := ca.Propose(e, v)
-						outs = append(outs, out{v: got, committed: c})
-						e.Decide(got)
-					}
-				}
+				ca = agreement.NewCommitAdopt("ca", n)
 				return bodies
 			},
 			Check: func(res *sched.Result) error {

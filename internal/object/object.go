@@ -48,17 +48,18 @@ func (p *ports) check(id sched.ProcID) {
 // invocation returns true ("winner"); all later invocations return false.
 type TestAndSet struct {
 	name string
+	tasL sched.Label
 	set  bool
 }
 
 // NewTestAndSet returns a fresh one-shot test&set object.
 func NewTestAndSet(name string) *TestAndSet {
-	return &TestAndSet{name: name}
+	return &TestAndSet{name: name, tasL: sched.Intern(name + ".test&set")}
 }
 
 // TestAndSet atomically sets the object and reports whether the caller won.
 func (t *TestAndSet) TestAndSet(e *sched.Env) bool {
-	e.Step(t.name + ".test&set")
+	e.StepL(t.tasL)
 	if t.set {
 		return false
 	}
@@ -68,27 +69,34 @@ func (t *TestAndSet) TestAndSet(e *sched.Env) bool {
 
 // Queue is an atomic FIFO queue (consensus number 2).
 type Queue[T any] struct {
-	name  string
-	items []T
+	name     string
+	enqueueL sched.Label
+	dequeueL sched.Label
+	items    []T
 }
 
 // NewQueue returns a queue initialized with the given items (front first).
 func NewQueue[T any](name string, init ...T) *Queue[T] {
 	items := make([]T, len(init))
 	copy(items, init)
-	return &Queue[T]{name: name, items: items}
+	return &Queue[T]{
+		name:     name,
+		enqueueL: sched.Intern(name + ".enqueue"),
+		dequeueL: sched.Intern(name + ".dequeue"),
+		items:    items,
+	}
 }
 
 // Enqueue atomically appends v.
 func (q *Queue[T]) Enqueue(e *sched.Env, v T) {
-	e.Step(q.name + ".enqueue")
+	e.StepL(q.enqueueL)
 	q.items = append(q.items, v)
 }
 
 // Dequeue atomically removes and returns the front item; ok is false when
 // the queue is empty.
 func (q *Queue[T]) Dequeue(e *sched.Env) (v T, ok bool) {
-	e.Step(q.name + ".dequeue")
+	e.StepL(q.dequeueL)
 	if len(q.items) == 0 {
 		return v, false
 	}
@@ -100,6 +108,8 @@ func (q *Queue[T]) Dequeue(e *sched.Env) (v T, ok bool) {
 // Stack is an atomic LIFO stack (consensus number 2).
 type Stack[T any] struct {
 	name  string
+	pushL sched.Label
+	popL  sched.Label
 	items []T
 }
 
@@ -107,19 +117,24 @@ type Stack[T any] struct {
 func NewStack[T any](name string, init ...T) *Stack[T] {
 	items := make([]T, len(init))
 	copy(items, init)
-	return &Stack[T]{name: name, items: items}
+	return &Stack[T]{
+		name:  name,
+		pushL: sched.Intern(name + ".push"),
+		popL:  sched.Intern(name + ".pop"),
+		items: items,
+	}
 }
 
 // Push atomically pushes v.
 func (s *Stack[T]) Push(e *sched.Env, v T) {
-	e.Step(s.name + ".push")
+	e.StepL(s.pushL)
 	s.items = append(s.items, v)
 }
 
 // Pop atomically removes and returns the top item; ok is false when the
 // stack is empty.
 func (s *Stack[T]) Pop(e *sched.Env) (v T, ok bool) {
-	e.Step(s.name + ".pop")
+	e.StepL(s.popL)
 	if len(s.items) == 0 {
 		return v, false
 	}
@@ -130,24 +145,31 @@ func (s *Stack[T]) Pop(e *sched.Env) (v T, ok bool) {
 
 // CompareAndSwap is an atomic compare&swap register (consensus number ∞).
 type CompareAndSwap[T comparable] struct {
-	name string
-	v    T
+	name  string
+	readL sched.Label
+	casL  sched.Label
+	v     T
 }
 
 // NewCompareAndSwap returns a CAS register initialized to init.
 func NewCompareAndSwap[T comparable](name string, init T) *CompareAndSwap[T] {
-	return &CompareAndSwap[T]{name: name, v: init}
+	return &CompareAndSwap[T]{
+		name:  name,
+		readL: sched.Intern(name + ".read"),
+		casL:  sched.Intern(name + ".cas"),
+		v:     init,
+	}
 }
 
 // Read atomically reads the register.
 func (c *CompareAndSwap[T]) Read(e *sched.Env) T {
-	e.Step(c.name + ".read")
+	e.StepL(c.readL)
 	return c.v
 }
 
 // CompareAndSwap atomically replaces old with new and reports success.
 func (c *CompareAndSwap[T]) CompareAndSwap(e *sched.Env, old, new T) bool {
-	e.Step(c.name + ".cas")
+	e.StepL(c.casL)
 	if c.v != old {
 		return false
 	}
@@ -161,6 +183,7 @@ func (c *CompareAndSwap[T]) CompareAndSwap(e *sched.Env, old, new T) bool {
 // proposal to take a step wins.
 type XConsensus struct {
 	ports    ports
+	propL    sched.Label
 	x        int
 	decided  bool
 	value    any
@@ -177,6 +200,7 @@ func NewXConsensus(name string, x int, portIDs []sched.ProcID) *XConsensus {
 	}
 	return &XConsensus{
 		ports:    newPorts(name, portIDs, x),
+		propL:    sched.Intern(name + ".x_cons_propose"),
 		x:        x,
 		proposed: make(map[sched.ProcID]bool),
 	}
@@ -199,7 +223,7 @@ func (c *XConsensus) Propose(e *sched.Env, v any) any {
 		panic(fmt.Sprintf("object: %s accessed by %d processes, consensus number %d",
 			c.ports.name, len(c.proposed), c.x))
 	}
-	e.Step(c.ports.name + ".x_cons_propose")
+	e.StepL(c.propL)
 	if !c.decided {
 		c.decided = true
 		c.value = v
@@ -212,6 +236,7 @@ func (c *XConsensus) Propose(e *sched.Env, v any) any {
 // ever returned; each returned value was proposed.
 type MLSetAgreement struct {
 	ports   ports
+	propL   sched.Label
 	m, l    int
 	decided []any
 	seen    map[sched.ProcID]bool
@@ -225,6 +250,7 @@ func NewMLSetAgreement(name string, m, l int, portIDs []sched.ProcID) *MLSetAgre
 	}
 	return &MLSetAgreement{
 		ports: newPorts(name, portIDs, m),
+		propL: sched.Intern(name + ".ml_propose"),
 		m:     m,
 		l:     l,
 		seen:  make(map[sched.ProcID]bool),
@@ -245,7 +271,7 @@ func (o *MLSetAgreement) Propose(e *sched.Env, v any) any {
 		panic(fmt.Sprintf("object: %s accessed by %d processes, capacity %d",
 			o.ports.name, len(o.seen), o.m))
 	}
-	e.Step(o.ports.name + ".ml_propose")
+	e.StepL(o.propL)
 	if len(o.decided) < o.l {
 		o.decided = append(o.decided, v)
 		return v

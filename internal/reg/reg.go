@@ -2,8 +2,10 @@
 //
 // Registers are the consensus-number-1 base objects of the ASM(n, t, x)
 // model. Every operation marks exactly one linearization step via
-// sched.Env.Step, so the adversary schedules register accesses at the same
-// granularity the paper's model prescribes.
+// sched.Env.StepL, so the adversary schedules register accesses at the same
+// granularity the paper's model prescribes. Step labels are interned once at
+// construction ("name.read", "name.write", "name[i].read", ...), so register
+// accesses perform no per-step string work.
 package reg
 
 import (
@@ -15,37 +17,47 @@ import (
 // Register is a multi-writer multi-reader atomic register holding a value of
 // type T. The zero value is not usable; construct with New or NewWith.
 type Register[T any] struct {
-	name string
-	v    T
+	name   string
+	readL  sched.Label
+	writeL sched.Label
+	v      T
 }
 
 // New returns a register named name holding the zero value of T.
 func New[T any](name string) *Register[T] {
-	return &Register[T]{name: name}
+	return &Register[T]{
+		name:   name,
+		readL:  sched.Intern(name + ".read"),
+		writeL: sched.Intern(name + ".write"),
+	}
 }
 
 // NewWith returns a register named name initialized to init.
 func NewWith[T any](name string, init T) *Register[T] {
-	return &Register[T]{name: name, v: init}
+	r := New[T](name)
+	r.v = init
+	return r
 }
 
 // Read atomically reads the register.
 func (r *Register[T]) Read(e *sched.Env) T {
-	e.Step(r.name + ".read")
+	e.StepL(r.readL)
 	return r.v
 }
 
 // Write atomically writes v.
 func (r *Register[T]) Write(e *sched.Env, v T) {
-	e.Step(r.name + ".write")
+	e.StepL(r.writeL)
 	r.v = v
 }
 
 // Array is an array of atomic registers sharing a common name prefix. Cell i
 // is addressed independently; each access is one atomic step.
 type Array[T any] struct {
-	name  string
-	cells []T
+	name   string
+	readL  []sched.Label
+	writeL []sched.Label
+	cells  []T
 }
 
 // NewArray returns an n-cell register array holding zero values.
@@ -53,7 +65,12 @@ func NewArray[T any](name string, n int) *Array[T] {
 	if n <= 0 {
 		panic(fmt.Sprintf("reg: array %q must have positive size, got %d", name, n))
 	}
-	return &Array[T]{name: name, cells: make([]T, n)}
+	return &Array[T]{
+		name:   name,
+		readL:  sched.InternIndexed("%s[%d].read", name, n),
+		writeL: sched.InternIndexed("%s[%d].write", name, n),
+		cells:  make([]T, n),
+	}
 }
 
 // NewArrayWith returns an n-cell register array with every cell set to init.
@@ -70,13 +87,13 @@ func (a *Array[T]) Len() int { return len(a.cells) }
 
 // Read atomically reads cell i.
 func (a *Array[T]) Read(e *sched.Env, i int) T {
-	e.Step(fmt.Sprintf("%s[%d].read", a.name, i))
+	e.StepL(a.readL[i])
 	return a.cells[i]
 }
 
 // Write atomically writes v to cell i.
 func (a *Array[T]) Write(e *sched.Env, i int, v T) {
-	e.Step(fmt.Sprintf("%s[%d].write", a.name, i))
+	e.StepL(a.writeL[i])
 	a.cells[i] = v
 }
 

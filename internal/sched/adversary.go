@@ -7,17 +7,21 @@ import (
 
 // View is what an adversary observes before each scheduling decision. The
 // slices are owned by the runtime and are only valid for the duration of the
-// Next call; adversaries must copy anything they retain.
+// Next call; adversaries must copy anything they retain — the runtime reuses
+// the backing arrays on every round (and, under a Session, on every run), so
+// a retained slice aliases state that has since moved on. Adversaries must
+// also never write through the View's slices.
 type View struct {
 	// Step is the number of steps scheduled so far.
 	Step int
 	// Runnable lists the parked (live) processes in ascending order.
 	Runnable []ProcID
-	// Pending[i] is the label process i is about to execute ("" when the
-	// process is not parked). A parked process has already executed the code
-	// preceding the labelled operation, so crashing it now models a crash
-	// "while executing" the enclosing routine, before the labelled step.
-	Pending []string
+	// Pending[i] is the interned label process i is about to execute
+	// (LabelNone when the process is not parked). A parked process has
+	// already executed the code preceding the labelled operation, so crashing
+	// it now models a crash "while executing" the enclosing routine, before
+	// the labelled step.
+	Pending []Label
 	// Crashed[i] reports whether process i has crashed.
 	Crashed []bool
 	// StepsOf[i] is the number of steps process i has executed.
@@ -173,7 +177,7 @@ func (p *Plan) Next(v View) Decision {
 				crash = append(crash, r.proc)
 			}
 		case crashOnLabel:
-			if v.Pending[r.proc] != "" && strings.Contains(v.Pending[r.proc], r.label) {
+			if v.Pending[r.proc] != LabelNone && strings.Contains(v.Pending[r.proc].String(), r.label) {
 				r.seen++
 				if r.seen >= r.occurrence {
 					r.fired = true

@@ -11,10 +11,14 @@ import "fmt"
 // scheduler token, i.e. from the process body or from code (such as a
 // coroutine thread) executing strictly on its behalf.
 type Env struct {
-	rt    *runtime
+	s     *Session
 	id    ProcID
 	n     int
 	grant chan grantMsg
+
+	// atStart marks the synthetic prologue park of the current run; under
+	// the inline protocol it selects the prologue-barrier path of StepL.
+	atStart bool
 
 	decided  bool
 	decision any
@@ -32,10 +36,22 @@ func (e *Env) N() int { return e.n }
 // operation. All code executed between two Step calls forms a single atomic
 // step of the model.
 //
+// Step interns label on every call; shared objects on the hot path intern
+// their labels once at construction and call StepL instead.
+//
 // Step panics with a private sentinel when the adversary crashes the process;
 // the runtime recovers it. See IsCrash.
 func (e *Env) Step(label string) {
-	e.rt.events <- event{id: e.id, kind: evPark, label: label}
+	e.StepL(Intern(label))
+}
+
+// StepL is Step for a pre-interned label: the allocation-free hot path.
+func (e *Env) StepL(label Label) {
+	if e.s.inline {
+		e.s.inlinePark(e, label)
+		return
+	}
+	e.s.events <- event{id: e.id, kind: evPark, label: label}
 	g := <-e.grant
 	if g.crash {
 		panic(crashSentinel{id: e.id})
@@ -66,8 +82,8 @@ func (e *Env) Decision() any { return e.decision }
 // property. Queries are local (no scheduler step); algorithms must still
 // take steps in their waiting loops.
 func (e *Env) Leader() ProcID {
-	for i, crashed := range e.rt.crashed {
-		if !crashed && e.rt.state[i] != stateDone {
+	for i, crashed := range e.s.crashed {
+		if !crashed && e.s.state[i] != stateDone {
 			return ProcID(i)
 		}
 	}
@@ -100,8 +116,8 @@ func (e *Env) LeaderSet(x int) []ProcID {
 }
 
 // StepCount returns the number of steps the process has executed so far.
-func (e *Env) StepCount() int { return e.rt.stepsOf[e.id] }
+func (e *Env) StepCount() int { return e.s.stepsOf[e.id] }
 
 // TotalSteps returns the number of steps scheduled so far across all
 // processes.
-func (e *Env) TotalSteps() int { return e.rt.steps }
+func (e *Env) TotalSteps() int { return e.s.steps }

@@ -1,0 +1,299 @@
+package sched
+
+import "fmt"
+
+// Inline scheduling protocol: the scheduling loop runs on whichever process
+// goroutine currently holds the token, not on a dedicated coordinator.
+//
+// A process that parks (Env.StepL) consults the adversary itself. If the
+// adversary grants the same process, StepL returns without any goroutine
+// switch — on run-heavy schedules most steps take this free path. The token
+// crosses goroutines only when another process is granted (one buffered
+// channel send), when a crash victim must unwind (a send plus an ack), and
+// once per run to wake the goroutine blocked in Session.Run.
+//
+// The run starts with a prologue barrier: Run hands every goroutine its body
+// over the begin channels, each parks at the synthetic start label, and the
+// last one to arrive (an atomic counter) becomes the run's first dispatcher.
+//
+// The delicate case is the adversary crashing the dispatching process
+// itself: the crash must unwind that goroutine's body, but the decision
+// round it was executing is not finished (later victims in the same
+// decision, and the round's run grant, are still owed). The in-flight round
+// therefore lives on the Session (roundState), the victim records its own
+// terminal state, marks itself detached and panics with the crash sentinel;
+// its wrapper defer — now off the body's stack — resumes the round from the
+// stored state. Teardown (step-budget exhaustion, MaxCrashes violations,
+// body failures) follows the same pattern: whoever holds the token reaps the
+// other parked processes, records the end state, and either signals Run
+// directly or, if it is itself parked, detaches and lets its wrapper defer
+// deliver the signal after the unwind.
+//
+// Determinism and the memory model: exactly one goroutine holds the token at
+// any time, and every handoff is a channel operation or an atomic
+// counter update, so all scheduler state is transferred with
+// happens-before edges and runs remain byte-for-byte reproducible — the
+// protocol-equivalence tests replay identical decision sequences under both
+// protocols and require identical traces.
+
+// runInline executes one run under the inline protocol: it kicks the
+// process goroutines and sleeps until one of them signals the end of the
+// run.
+func (s *Session) runInline(bodies []Proc) (*Result, error) {
+	for i, body := range bodies {
+		s.begin[i] <- body
+	}
+	<-s.runDone
+	if s.endErr != nil {
+		return nil, s.endErr
+	}
+	return s.collect(s.endBudget), nil
+}
+
+// inlineRunBody executes one run's body under the inline protocol.
+func (s *Session) inlineRunBody(e *Env, body Proc) {
+	defer func() {
+		r := recover()
+		if s.detachSelf == e.id {
+			// Our terminal state was recorded before the unwind (self-crash
+			// or self-reap). Deliver whatever signal the dispatcher owed.
+			s.detachSelf = -1
+			if s.ending {
+				s.runDone <- struct{}{}
+			} else {
+				// A self-crash interrupted a decision round: resume it.
+				s.dispatch(-1)
+			}
+			return
+		}
+		if s.awaitUnwind == e.id {
+			// A dispatcher on another goroutine crashed us and awaits the
+			// unwind ack.
+			s.events <- event{id: e.id, kind: evDone, crashed: IsCrash(r), failure: foreignPanic(r)}
+			return
+		}
+		// The body finished while we hold the token: record the terminal
+		// state and keep dispatching on this goroutine.
+		s.state[e.id] = stateDone
+		s.pending[e.id] = LabelNone
+		switch {
+		case r == nil && e.decided:
+			s.statuses[e.id] = StatusDecided
+		case r == nil:
+			s.statuses[e.id] = StatusHalted
+		case IsCrash(r):
+			// Unreachable: inline self-crashes detach before unwinding. Kept
+			// as a safe fallback.
+			s.statuses[e.id] = StatusCrashed
+		default:
+			// A foreign panic: the run fails, exactly like the central
+			// protocol's failure path (a decision recorded before the panic
+			// is still reported, as consume does).
+			if e.decided {
+				s.statuses[e.id] = StatusDecided
+			} else {
+				s.statuses[e.id] = StatusHalted
+			}
+			s.teardown(-1, false, fmt.Errorf("sched: process %d panicked: %v", e.id, r))
+			return
+		}
+		s.dispatch(-1)
+	}()
+	e.atStart = true
+	e.StepL(LabelStart)
+	body(e)
+}
+
+func foreignPanic(r any) any {
+	if r == nil || IsCrash(r) {
+		return nil
+	}
+	return r
+}
+
+// inlinePark is StepL under the inline protocol: record the park, dispatch
+// if this goroutine holds the token, and wait for (or inline-consume) the
+// next grant.
+func (s *Session) inlinePark(e *Env, label Label) {
+	s.pending[e.id] = label
+	s.state[e.id] = stateParked
+	if e.atStart {
+		e.atStart = false
+		// Prologue barrier: the last process to park starts the scheduling.
+		// Earlier arrivals just wait for their first grant; the atomic
+		// counter publishes their park to the dispatcher.
+		if s.started.Add(1) == int32(s.n) {
+			if s.dispatch(e.id) {
+				return
+			}
+		}
+	} else if s.dispatch(e.id) {
+		return
+	}
+	g := <-e.grant
+	if g.crash {
+		panic(crashSentinel{id: e.id})
+	}
+}
+
+// dispatch runs the scheduling loop while this goroutine holds the token.
+// self is the parked process this goroutine embodies, or -1 when it has none
+// (its process finished, or a self-crash already detached it). It returns
+// true when self was granted the next step — the caller continues inline —
+// and false when the token was handed elsewhere or the run ended.
+//
+// dispatch panics with the crash sentinel when the adversary crashes self or
+// the run tears down while self is parked; the wrapper defer resumes from
+// Session state.
+func (s *Session) dispatch(self ProcID) bool {
+	for {
+		if !s.round.active {
+			runnable := s.runnable()
+			if len(runnable) == 0 {
+				// self, if parked, would be runnable: only a detached
+				// goroutine can observe the end of the run, so the signal is
+				// sent directly.
+				s.finishRun(false, nil)
+				s.runDone <- struct{}{}
+				return false
+			}
+			if s.steps >= s.cfg.MaxSteps {
+				s.teardown(self, true, nil)
+				return false
+			}
+			dec, err := s.nextDecision(View{
+				Step:     s.steps,
+				Runnable: runnable,
+				Pending:  s.pending,
+				Crashed:  s.crashed,
+				StepsOf:  s.stepsOf,
+			})
+			if err != nil {
+				s.teardown(self, false, err)
+				return false
+			}
+			s.round.active = true
+			s.round.hadCrash = len(dec.Crash) > 0
+			s.roundCrashBuf = append(s.roundCrashBuf[:0], dec.Crash...)
+			s.round.crash = s.roundCrashBuf
+			s.round.crashIdx = 0
+			s.round.run = dec.Run
+		}
+
+		// The MaxCrashes verdict of a self-crash is checked here, right
+		// after the unwind, so the abort happens at the same decision point
+		// as under the central protocol.
+		if s.round.limitHit {
+			s.round.limitHit = false
+			s.teardown(self, false, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+				s.crashes, s.cfg.MaxCrashes))
+			return false
+		}
+
+		for s.round.crashIdx < len(s.round.crash) {
+			c := s.round.crash[s.round.crashIdx]
+			s.round.crashIdx++
+			if int(c) < 0 || int(c) >= s.n || s.state[c] != stateParked {
+				continue
+			}
+			if c == self {
+				// Crash ourselves: record the terminal state, mark the
+				// round for resumption, and unwind. The wrapper defer calls
+				// dispatch(-1) to finish this round.
+				s.lastLabel[self] = s.pending[self]
+				s.crashed[self] = true
+				s.crashes++
+				s.state[self] = stateDone
+				s.pending[self] = LabelNone
+				s.statuses[self] = StatusCrashed
+				s.round.limitHit = s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes
+				s.detachSelf = self
+				panic(crashSentinel{id: self})
+			}
+			s.unwindParked(c, StatusCrashed)
+			if s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes {
+				s.teardown(self, false, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+					s.crashes, s.cfg.MaxCrashes))
+				return false
+			}
+		}
+
+		run := s.round.run
+		hadCrash := s.round.hadCrash
+		s.round.active = false
+		if run < 0 && hadCrash {
+			// Crash-only round: no step, re-consult the adversary.
+			continue
+		}
+		if int(run) < 0 || int(run) >= s.n || s.state[run] != stateParked {
+			run = s.firstParked()
+			if run < 0 {
+				continue
+			}
+		}
+		s.grantBookkeeping(run)
+		if run == self {
+			return true
+		}
+		s.envs[run].grant <- grantMsg{}
+		return false
+	}
+}
+
+// unwindParked crash-unwinds the parked process id (never the caller's own
+// process), waits for its wrapper's ack, and records the given terminal
+// status.
+func (s *Session) unwindParked(id ProcID, status Status) {
+	s.lastLabel[id] = s.pending[id]
+	if status == StatusCrashed {
+		s.crashed[id] = true
+		s.crashes++
+	}
+	s.state[id] = stateRunning
+	s.awaitUnwind = id
+	s.envs[id].grant <- grantMsg{crash: true}
+	for {
+		ev := <-s.events
+		s.consume(ev)
+		if ev.id == id && ev.kind == evDone {
+			break
+		}
+	}
+	s.awaitUnwind = -1
+	s.statuses[id] = status
+}
+
+// teardown ends the run early (budget exhaustion or an error): every parked
+// process is reaped as StatusBlocked. If the dispatcher itself is parked it
+// is reaped last — its state is recorded here, and its wrapper defer
+// delivers the end-of-run signal after the unwind; otherwise the signal is
+// sent directly.
+func (s *Session) teardown(self ProcID, budget bool, err error) {
+	s.round = roundState{}
+	for i := range s.envs {
+		if ProcID(i) == self || s.state[i] != stateParked {
+			continue
+		}
+		s.unwindParked(ProcID(i), StatusBlocked)
+	}
+	if self >= 0 && s.state[self] == stateParked {
+		s.lastLabel[self] = s.pending[self]
+		s.pending[self] = LabelNone
+		s.state[self] = stateDone
+		s.statuses[self] = StatusBlocked
+		s.detachSelf = self
+		s.finishRun(budget, err) // records the end state; the defer signals
+		panic(crashSentinel{id: self})
+	}
+	s.finishRun(budget, err)
+	s.runDone <- struct{}{}
+}
+
+// finishRun records how the run ended. The runDone signal is sent separately
+// because a detaching dispatcher must unwind before Run may observe the
+// results.
+func (s *Session) finishRun(budget bool, err error) {
+	s.ending = true
+	s.endBudget = budget
+	s.endErr = err
+}

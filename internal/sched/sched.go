@@ -11,11 +11,17 @@
 // executes at any time: a token is passed scheduler -> process -> scheduler
 // through channels, so runs are fully deterministic given the adversary (and
 // its seed). Shared objects mark their linearization points by calling
-// Env.Step(label); everything a process executes between two Step calls is a
-// single atomic step of the model. The adversary observes the label each
+// Env.Step(label) — or its allocation-free form Env.StepL with a
+// pre-interned Label; everything a process executes between two Step calls is
+// a single atomic step of the model. The adversary observes the label each
 // parked process is about to execute, which allows failure-injection tests to
 // crash a process "while it is inside" a specific operation, exactly as the
 // paper's lemmas require.
+//
+// Two entry points share the same machinery: Run executes one run on a fresh
+// runtime, while a Session keeps its process goroutines parked between runs
+// and is reset per run — the zero-respawn fast path replay engines
+// (internal/explore) are built on.
 //
 // Crashes are delivered as a private panic sentinel raised from inside Step;
 // the per-process wrapper recovers it. Code running under the scheduler must
@@ -69,9 +75,9 @@ type Proc func(e *Env)
 const DefaultMaxSteps = 1 << 21
 
 // StartLabel is the synthetic label every process is parked on before its
-// body begins. The grant of this pseudo-step is not counted in step totals;
-// adversaries observe it as the pending label of processes that have not yet
-// taken a real step.
+// body begins (interned as LabelStart). The grant of this pseudo-step is not
+// counted in step totals; adversaries observe it as the pending label of
+// processes that have not yet taken a real step.
 const StartLabel = "(start)"
 
 // Config parameterizes a run.
@@ -97,7 +103,7 @@ type Config struct {
 // TraceEntry records one scheduled step.
 type TraceEntry struct {
 	Proc  ProcID
-	Label string
+	Label Label
 }
 
 // Outcome is the per-process summary of a run.
@@ -114,10 +120,12 @@ type Outcome struct {
 	Steps int
 	// LastLabel is the label of the last step the process was granted, or the
 	// label it was about to execute when it crashed or was reaped.
-	LastLabel string
+	LastLabel Label
 }
 
-// Result summarizes a completed run.
+// Result summarizes a completed run. Results returned by Session.Run are
+// pooled: the struct and its slices are overwritten by the session's next
+// run. Results returned by the one-shot Run are never reused.
 type Result struct {
 	// Outcomes has one entry per process.
 	Outcomes []Outcome
@@ -176,7 +184,7 @@ const (
 type event struct {
 	id      ProcID
 	kind    eventKind
-	label   string
+	label   Label
 	crashed bool
 	failure any // non-nil when the body panicked with a genuine error
 }
@@ -205,298 +213,25 @@ const (
 	stateDone
 )
 
-type runtime struct {
-	cfg    Config
-	envs   []*Env
-	events chan event
-
-	state     []procState
-	statuses  []Status
-	pending   []string // label each parked process is about to execute
-	stepsOf   []int
-	lastLabel []string
-	crashed   []bool
-
-	steps   int
-	crashes int
-	trace   []TraceEntry
-
-	// runnableBuf backs the View.Runnable slice handed to the adversary each
-	// round. Reusing it keeps the scheduling loop allocation-free, which
-	// matters to replay engines (internal/explore) that execute millions of
-	// short runs; the View contract already limits the slice's lifetime to
-	// the Next call.
-	runnableBuf []ProcID
-}
-
-// ErrNoProcs is returned by Run when no process bodies are supplied.
+// ErrNoProcs is returned by Run and NewSession when no process bodies are
+// supplied.
 var ErrNoProcs = errors.New("sched: no processes")
 
 // Run executes the given process bodies to completion under cfg and returns
 // the per-process outcomes. It returns an error if a body panics with a
 // non-crash value, or if the adversary misbehaves (crashes more than
 // MaxCrashes processes when that bound is set).
+//
+// Run is the one-shot entry point: it builds a Session, runs once and tears
+// the session down. Callers executing many runs over the same process count
+// should hold a Session and call its Run method instead.
 func Run(cfg Config, bodies []Proc) (*Result, error) {
-	n := len(bodies)
-	if n == 0 {
-		return nil, ErrNoProcs
+	s, err := NewSession(len(bodies))
+	if err != nil {
+		return nil, err
 	}
-	for i, b := range bodies {
-		if b == nil {
-			return nil, fmt.Errorf("sched: body %d is nil", i)
-		}
-	}
-	if cfg.MaxSteps <= 0 {
-		cfg.MaxSteps = DefaultMaxSteps
-	}
-	adv := cfg.Adversary
-	if adv == nil {
-		adv = NewRandom(cfg.Seed)
-	}
-
-	rt := &runtime{
-		cfg:       cfg,
-		events:    make(chan event),
-		state:     make([]procState, n),
-		statuses:  make([]Status, n),
-		pending:   make([]string, n),
-		stepsOf:   make([]int, n),
-		lastLabel: make([]string, n),
-		crashed:   make([]bool, n),
-
-		runnableBuf: make([]ProcID, 0, n),
-	}
-	rt.envs = make([]*Env, n)
-	for i := range rt.envs {
-		rt.envs[i] = &Env{
-			rt:    rt,
-			id:    ProcID(i),
-			n:     n,
-			grant: make(chan grantMsg),
-		}
-	}
-
-	// Launch every process. Each wrapper parks at a synthetic "(start)" step
-	// before running its body, so even body prologues execute one at a time
-	// under the scheduler token: the single-runner invariant holds from the
-	// first instruction.
-	for i, body := range bodies {
-		rt.launch(rt.envs[i], body)
-	}
-
-	var failure any
-	livePrologues := n
-	for livePrologues > 0 {
-		ev := <-rt.events
-		if rt.consume(ev) {
-			livePrologues--
-		}
-		if ev.kind == evDone && ev.failure != nil && failure == nil {
-			failure = ev.failure
-		}
-	}
-	if failure != nil {
-		rt.reapAll(StatusBlocked)
-		return nil, fmt.Errorf("sched: process body panicked: %v", failure)
-	}
-
-	view := View{
-		Pending: rt.pending,
-		Crashed: rt.crashed,
-		StepsOf: rt.stepsOf,
-	}
-
-	budgetExhausted := false
-	for {
-		runnable := rt.runnable()
-		if len(runnable) == 0 {
-			break
-		}
-		if rt.steps >= cfg.MaxSteps {
-			budgetExhausted = true
-			rt.reapAll(StatusBlocked)
-			break
-		}
-
-		view.Step = rt.steps
-		view.Runnable = runnable
-		dec := adv.Next(view)
-
-		for _, c := range dec.Crash {
-			if int(c) < 0 || int(c) >= len(rt.envs) || rt.state[c] != stateParked {
-				continue
-			}
-			rt.crash(c)
-			if cfg.MaxCrashes > 0 && rt.crashes > cfg.MaxCrashes {
-				rt.reapAll(StatusBlocked)
-				return nil, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
-					rt.crashes, cfg.MaxCrashes)
-			}
-		}
-
-		run := dec.Run
-		if run < 0 && len(dec.Crash) > 0 {
-			// Crash-only round: no step, re-consult the adversary.
-			continue
-		}
-		if int(run) < 0 || int(run) >= len(rt.envs) || rt.state[run] != stateParked {
-			run = rt.firstParked()
-			if run < 0 {
-				continue
-			}
-		}
-		if err := rt.step(run); err != nil {
-			rt.reapAll(StatusBlocked)
-			return nil, err
-		}
-	}
-
-	res := &Result{
-		Outcomes:        make([]Outcome, n),
-		Steps:           rt.steps,
-		Crashes:         rt.crashes,
-		BudgetExhausted: budgetExhausted,
-		Trace:           rt.trace,
-	}
-	for i := range res.Outcomes {
-		e := rt.envs[i]
-		res.Outcomes[i] = Outcome{
-			Status:    rt.statuses[i],
-			Decided:   e.decided,
-			Value:     e.decision,
-			Steps:     rt.stepsOf[i],
-			LastLabel: rt.lastLabel[i],
-		}
-	}
-	return res, nil
-}
-
-func (rt *runtime) launch(e *Env, body Proc) {
-	go func() {
-		defer func() {
-			r := recover()
-			switch {
-			case r == nil:
-				rt.events <- event{id: e.id, kind: evDone}
-			case IsCrash(r):
-				rt.events <- event{id: e.id, kind: evDone, crashed: true}
-			default:
-				rt.events <- event{id: e.id, kind: evDone, failure: r}
-			}
-		}()
-		e.Step(StartLabel)
-		body(e)
-	}()
-}
-
-// consume folds one event into the runtime state and reports whether the
-// event settles a process the scheduler was waiting for.
-func (rt *runtime) consume(ev event) bool {
-	switch ev.kind {
-	case evPark:
-		rt.state[ev.id] = stateParked
-		rt.pending[ev.id] = ev.label
-	case evDone:
-		rt.state[ev.id] = stateDone
-		rt.pending[ev.id] = ""
-		switch {
-		case ev.crashed:
-			rt.statuses[ev.id] = StatusCrashed
-		case rt.envs[ev.id].decided:
-			rt.statuses[ev.id] = StatusDecided
-		default:
-			rt.statuses[ev.id] = StatusHalted
-		}
-	}
-	return true
-}
-
-// step grants one step to process id and waits for it to park again or
-// finish. It returns an error if the body panicked with a non-crash value.
-func (rt *runtime) step(id ProcID) error {
-	label := rt.pending[id]
-	rt.lastLabel[id] = label
-	if label != StartLabel {
-		rt.steps++
-		rt.stepsOf[id]++
-	}
-	// The trace records the full decision sequence, including the
-	// uncounted StartLabel grants, so a Replay adversary reproduces the
-	// schedule round for round.
-	if rt.cfg.TraceCapacity > 0 && len(rt.trace) < rt.cfg.TraceCapacity {
-		rt.trace = append(rt.trace, TraceEntry{Proc: id, Label: label})
-	}
-	rt.state[id] = stateRunning
-	rt.envs[id].grant <- grantMsg{}
-	ev := <-rt.events
-	rt.consume(ev)
-	if ev.kind == evDone && ev.failure != nil {
-		return fmt.Errorf("sched: process %d panicked: %v", ev.id, ev.failure)
-	}
-	if ev.id != id && rt.state[id] == stateRunning {
-		// A granted process must be the next to report: the token design
-		// guarantees it. Anything else is a runtime invariant violation.
-		return fmt.Errorf("sched: process %d reported while %d held the token", ev.id, id)
-	}
-	return nil
-}
-
-// crash delivers a crash to the parked process id and waits for its wrapper
-// to acknowledge. The process's pending label is preserved in lastLabel so
-// reports can show what it was about to execute.
-func (rt *runtime) crash(id ProcID) {
-	rt.lastLabel[id] = rt.pending[id]
-	rt.crashed[id] = true
-	rt.crashes++
-	rt.state[id] = stateRunning
-	rt.envs[id].grant <- grantMsg{crash: true}
-	for {
-		ev := <-rt.events
-		rt.consume(ev)
-		if ev.id == id && ev.kind == evDone {
-			return
-		}
-	}
-}
-
-// reapAll crash-unwinds every parked process so no goroutine outlives Run,
-// then overwrites their status with the given terminal status.
-func (rt *runtime) reapAll(status Status) {
-	for i := range rt.envs {
-		if rt.state[i] != stateParked {
-			continue
-		}
-		id := ProcID(i)
-		rt.lastLabel[id] = rt.pending[id]
-		rt.state[id] = stateRunning
-		rt.envs[id].grant <- grantMsg{crash: true}
-		for {
-			ev := <-rt.events
-			rt.consume(ev)
-			if ev.id == id && ev.kind == evDone {
-				break
-			}
-		}
-		rt.statuses[id] = status
-	}
-}
-
-func (rt *runtime) runnable() []ProcID {
-	ids := rt.runnableBuf[:0]
-	for i, s := range rt.state {
-		if s == stateParked {
-			ids = append(ids, ProcID(i))
-		}
-	}
-	rt.runnableBuf = ids
-	return ids
-}
-
-func (rt *runtime) firstParked() ProcID {
-	for i, s := range rt.state {
-		if s == stateParked {
-			return ProcID(i)
-		}
-	}
-	return -1
+	defer s.Close()
+	// The session is discarded after this run, so the pooled Result is
+	// effectively fresh and safe to hand out.
+	return s.Run(cfg, bodies)
 }

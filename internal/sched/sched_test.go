@@ -146,7 +146,7 @@ func TestCrashOnLabel(t *testing.T) {
 	if o.Steps != 2 {
 		t.Fatalf("victim executed %d steps, want 2", o.Steps)
 	}
-	if o.LastLabel != "inc/2" {
+	if o.LastLabel != Intern("inc/2") {
 		t.Fatalf("last label = %q, want inc/2", o.LastLabel)
 	}
 }

@@ -1,0 +1,525 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// Session is a reusable scheduler runtime: the n process goroutines are
+// spawned once, park between runs, and are reset through a lightweight
+// protocol instead of being recreated, so back-to-back runs pay no goroutine
+// spawn, no channel construction and no per-run buffer allocation. Replay
+// engines (internal/explore) execute millions of short runs; respawning was
+// their dominant cost.
+//
+// The lifecycle is
+//
+//	s, _ := NewSession(n)
+//	for { res, _ := s.Run(cfg, bodies) ... }
+//	s.Close()
+//
+// Run may be given different bodies (and a different Config) each time; only
+// the process count n is fixed. Runs on one Session are deterministic exactly
+// like runs on fresh runtimes: every run starts from fully reset scheduler
+// state, so a Session replaying the same adversary decisions produces a
+// byte-identical trace and identical outcomes.
+//
+// Two scheduling protocols implement the same observable semantics:
+//
+//   - The default inline protocol runs the scheduling loop on whichever
+//     process goroutine holds the token: a process that parks consults the
+//     adversary itself and, when the adversary grants it again, continues
+//     without any context switch. Goroutine switches happen only when the
+//     token actually moves between processes, which roughly halves (and for
+//     run-heavy schedules far more than halves) the switch count of the
+//     central protocol.
+//
+//   - The rendezvous protocol (SessionOptions.Rendezvous) is the original
+//     central-scheduler design: a dedicated coordinator goroutine grants
+//     every step over unbuffered channels. It is kept as the simple
+//     reference implementation — the protocol-equivalence tests replay both
+//     and require byte-identical traces — and as the faithful baseline for
+//     the session-reuse benchmarks.
+//
+// The returned Result and its Outcomes and Trace slices are owned by the
+// Session and overwritten by the next Run; callers that retain them across
+// runs must copy. Sessions are not safe for concurrent use — one Run at a
+// time — and Close must only be called between runs.
+type Session struct {
+	n      int
+	inline bool
+	envs   []*Env
+	events chan event
+	begin  []chan Proc
+
+	cfg Config    // the active run's config
+	adv Adversary // the active run's adversary
+
+	state     []procState
+	statuses  []Status
+	pending   []Label // label each parked process is about to execute
+	stepsOf   []int
+	lastLabel []Label
+	crashed   []bool
+
+	steps   int
+	crashes int
+	trace   []TraceEntry
+
+	// Inline-protocol state. started is the prologue barrier: the last
+	// process to park at its start label becomes the run's first dispatcher.
+	// runDone carries the end-of-run signal to the goroutine blocked in Run.
+	started     atomic.Int32
+	runDone     chan struct{}
+	awaitUnwind ProcID // victim whose crash-unwind ack the dispatcher awaits
+	detachSelf  ProcID // goroutine that must unwind silently (state pre-recorded)
+	round       roundState
+	ending      bool // the run is being torn down; set before the final unwind
+	endBudget   bool
+	endErr      error
+
+	// res is the pooled Result handed back by Run; its slices alias the
+	// session's buffers.
+	res      Result
+	outcomes []Outcome
+
+	// runnableBuf backs the View.Runnable slice handed to the adversary each
+	// round; roundCrashBuf backs the in-flight round's crash list. Reusing
+	// them keeps the scheduling loop allocation-free; the View contract
+	// already limits the slice's lifetime to the Next call.
+	runnableBuf   []ProcID
+	roundCrashBuf []ProcID
+
+	closed bool
+	broken bool // a runtime invariant was violated; the Session is unusable
+}
+
+// roundState is one adversary decision in flight. It lives on the Session
+// (not a stack) because delivering a crash to the dispatching process itself
+// unwinds the dispatcher's stack: the unwound goroutine resumes the round
+// from this state.
+type roundState struct {
+	active   bool
+	hadCrash bool
+	crash    []ProcID
+	crashIdx int
+	run      ProcID
+	limitHit bool // the self-crash just delivered exceeded MaxCrashes
+}
+
+// ErrClosed is returned by Session.Run after Close.
+var ErrClosed = errors.New("sched: session closed")
+
+// ErrBroken is returned by Session.Run after a run violated a runtime
+// invariant (which should be impossible); the goroutine state can no longer
+// be trusted, so the Session refuses further runs.
+var ErrBroken = errors.New("sched: session broken by invariant violation")
+
+// SessionOptions tunes a Session's scheduling protocol without changing its
+// observable behavior: runs are deterministic functions of (bodies, Config)
+// under every option combination, and the protocol-equivalence tests assert
+// byte-identical traces.
+type SessionOptions struct {
+	// Rendezvous selects the original central-scheduler protocol: a
+	// coordinator goroutine grants every step over unbuffered channels, two
+	// goroutine switches per step. The default inline protocol dispatches on
+	// the process goroutines themselves and switches only when the token
+	// moves. Rendezvous mode is kept as the reference implementation for
+	// differential tests and as the faithful respawn baseline of the
+	// session-reuse benchmarks.
+	Rendezvous bool
+}
+
+// NewSession spawns the n process goroutines of a reusable runtime. Each
+// goroutine parks immediately and waits for Run to hand it a body.
+func NewSession(n int) (*Session, error) {
+	return NewSessionWith(n, SessionOptions{})
+}
+
+// NewSessionWith is NewSession with explicit options.
+func NewSessionWith(n int, opts SessionOptions) (*Session, error) {
+	if n <= 0 {
+		return nil, ErrNoProcs
+	}
+	buf := 1
+	if opts.Rendezvous {
+		buf = 0
+	}
+	s := &Session{
+		n:       n,
+		inline:  !opts.Rendezvous,
+		events:  make(chan event),
+		begin:   make([]chan Proc, n),
+		runDone: make(chan struct{}, 1),
+
+		state:     make([]procState, n),
+		statuses:  make([]Status, n),
+		pending:   make([]Label, n),
+		stepsOf:   make([]int, n),
+		lastLabel: make([]Label, n),
+		crashed:   make([]bool, n),
+
+		awaitUnwind: -1,
+		detachSelf:  -1,
+
+		outcomes:      make([]Outcome, n),
+		runnableBuf:   make([]ProcID, 0, n),
+		roundCrashBuf: make([]ProcID, 0, n),
+	}
+	s.envs = make([]*Env, n)
+	for i := range s.envs {
+		// Under the inline protocol the channels are buffered: the protocol
+		// keeps at most one in-flight message per channel (a grant is always
+		// consumed before the granted process produces its next decision, a
+		// begin before the run's first park), and the buffer posts the token
+		// without a rendezvous wait.
+		s.envs[i] = &Env{
+			s:     s,
+			id:    ProcID(i),
+			n:     n,
+			grant: make(chan grantMsg, buf),
+		}
+		s.begin[i] = make(chan Proc, buf)
+		go s.loop(s.envs[i], s.begin[i])
+	}
+	return s, nil
+}
+
+// N returns the fixed process count of the session.
+func (s *Session) N() int { return s.n }
+
+// loop is the persistent per-process goroutine: it receives one body per
+// run, wraps it (park at the synthetic start step, recover the crash
+// sentinel), and parks again for the next run. It exits when Close closes
+// the begin channel.
+func (s *Session) loop(e *Env, begin <-chan Proc) {
+	for body := range begin {
+		if s.inline {
+			s.inlineRunBody(e, body)
+		} else {
+			s.centralRunBody(e, body)
+		}
+	}
+}
+
+// centralRunBody executes one run's body under the rendezvous protocol:
+// every lifecycle event is reported to the coordinator over the events
+// channel.
+func (s *Session) centralRunBody(e *Env, body Proc) {
+	defer func() {
+		r := recover()
+		switch {
+		case r == nil:
+			s.events <- event{id: e.id, kind: evDone}
+		case IsCrash(r):
+			s.events <- event{id: e.id, kind: evDone, crashed: true}
+		default:
+			s.events <- event{id: e.id, kind: evDone, failure: r}
+		}
+	}()
+	// Park at a synthetic "(start)" step before running the body, so even
+	// body prologues execute one at a time under the scheduler token: the
+	// single-runner invariant holds from the first instruction.
+	e.atStart = true
+	e.StepL(LabelStart)
+	body(e)
+}
+
+// Close terminates the session's goroutines. It is idempotent. Close must
+// not be called while a Run is in progress.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.begin {
+		close(ch)
+	}
+}
+
+// reset rewinds all per-run state so the next run starts from a state
+// indistinguishable from a fresh runtime's.
+func (s *Session) reset(cfg Config, adv Adversary) {
+	s.cfg = cfg
+	s.adv = adv
+	for i := 0; i < s.n; i++ {
+		s.state[i] = 0
+		s.statuses[i] = 0
+		s.pending[i] = LabelNone
+		s.stepsOf[i] = 0
+		s.lastLabel[i] = LabelNone
+		s.crashed[i] = false
+		e := s.envs[i]
+		e.decided = false
+		e.decision = nil
+	}
+	s.steps = 0
+	s.crashes = 0
+	s.trace = s.trace[:0]
+	s.started.Store(0)
+	s.awaitUnwind = -1
+	s.detachSelf = -1
+	s.round = roundState{}
+	s.ending = false
+	s.endBudget = false
+	s.endErr = nil
+}
+
+// Run executes one run of the given bodies (one per session process) under
+// cfg and returns the pooled per-process outcomes. It returns an error if a
+// body panics with a non-crash value, or if the adversary misbehaves
+// (crashes more than MaxCrashes processes when that bound is set); the
+// session stays usable after such errors.
+func (s *Session) Run(cfg Config, bodies []Proc) (*Result, error) {
+	switch {
+	case s.closed:
+		return nil, ErrClosed
+	case s.broken:
+		return nil, ErrBroken
+	case len(bodies) != s.n:
+		return nil, fmt.Errorf("sched: session has %d processes, got %d bodies", s.n, len(bodies))
+	}
+	for i, b := range bodies {
+		if b == nil {
+			return nil, fmt.Errorf("sched: body %d is nil", i)
+		}
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = DefaultMaxSteps
+	}
+	adv := cfg.Adversary
+	if adv == nil {
+		adv = NewRandom(cfg.Seed)
+	}
+	s.reset(cfg, adv)
+	if s.inline {
+		return s.runInline(bodies)
+	}
+	return s.runCentral(bodies)
+}
+
+// collect assembles the pooled Result after a completed run.
+func (s *Session) collect(budgetExhausted bool) *Result {
+	res := &s.res
+	*res = Result{
+		Outcomes:        s.outcomes,
+		Steps:           s.steps,
+		Crashes:         s.crashes,
+		BudgetExhausted: budgetExhausted,
+		Trace:           s.trace,
+	}
+	for i := range s.outcomes {
+		e := s.envs[i]
+		s.outcomes[i] = Outcome{
+			Status:    s.statuses[i],
+			Decided:   e.decided,
+			Value:     e.decision,
+			Steps:     s.stepsOf[i],
+			LastLabel: s.lastLabel[i],
+		}
+	}
+	return res
+}
+
+// ---------------------------------------------------------------------------
+// Central (rendezvous) protocol: the reference implementation.
+
+// runCentral executes one run with the scheduling loop on the calling
+// goroutine, granting every step over the events/grant rendezvous.
+func (s *Session) runCentral(bodies []Proc) (*Result, error) {
+	// Kick every goroutine with its body for this run. Each parks at the
+	// synthetic start step before touching the body, so the first n events
+	// are exactly the n start parks.
+	for i, body := range bodies {
+		s.begin[i] <- body
+	}
+	for parked := 0; parked < s.n; parked++ {
+		s.consume(<-s.events)
+	}
+
+	view := View{
+		Pending: s.pending,
+		Crashed: s.crashed,
+		StepsOf: s.stepsOf,
+	}
+
+	budgetExhausted := false
+	for {
+		runnable := s.runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		if s.steps >= s.cfg.MaxSteps {
+			budgetExhausted = true
+			s.reapAll(StatusBlocked)
+			break
+		}
+
+		view.Step = s.steps
+		view.Runnable = runnable
+		dec, err := s.nextDecision(view)
+		if err != nil {
+			s.reapAll(StatusBlocked)
+			return nil, err
+		}
+
+		for _, c := range dec.Crash {
+			if int(c) < 0 || int(c) >= s.n || s.state[c] != stateParked {
+				continue
+			}
+			s.crash(c)
+			if s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes {
+				s.reapAll(StatusBlocked)
+				return nil, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+					s.crashes, s.cfg.MaxCrashes)
+			}
+		}
+
+		run := dec.Run
+		if run < 0 && len(dec.Crash) > 0 {
+			// Crash-only round: no step, re-consult the adversary.
+			continue
+		}
+		if int(run) < 0 || int(run) >= s.n || s.state[run] != stateParked {
+			run = s.firstParked()
+			if run < 0 {
+				continue
+			}
+		}
+		if err := s.step(run); err != nil {
+			s.reapAll(StatusBlocked)
+			return nil, err
+		}
+	}
+	return s.collect(budgetExhausted), nil
+}
+
+// consume folds one event into the session state.
+func (s *Session) consume(ev event) {
+	switch ev.kind {
+	case evPark:
+		s.state[ev.id] = stateParked
+		s.pending[ev.id] = ev.label
+	case evDone:
+		s.state[ev.id] = stateDone
+		s.pending[ev.id] = LabelNone
+		switch {
+		case ev.crashed:
+			s.statuses[ev.id] = StatusCrashed
+		case s.envs[ev.id].decided:
+			s.statuses[ev.id] = StatusDecided
+		default:
+			s.statuses[ev.id] = StatusHalted
+		}
+	}
+}
+
+// nextDecision consults the adversary, converting a panic raised inside
+// Next into a run error. Both protocols thereby fail such runs identically
+// — same error, every process goroutine reaped and re-parked — instead of
+// the panic unwinding whichever goroutine happened to be dispatching.
+func (s *Session) nextDecision(v View) (dec Decision, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: adversary panicked: %v", r)
+		}
+	}()
+	return s.adv.Next(v), nil
+}
+
+// grantBookkeeping records the grant of one step to process id: the label it
+// was parked on becomes its last label, counted unless it is the synthetic
+// start grant, and traced always, so a Replay adversary reproduces the
+// schedule round for round.
+func (s *Session) grantBookkeeping(id ProcID) {
+	label := s.pending[id]
+	s.lastLabel[id] = label
+	if label != LabelStart {
+		s.steps++
+		s.stepsOf[id]++
+	}
+	if s.cfg.TraceCapacity > 0 && len(s.trace) < s.cfg.TraceCapacity {
+		s.trace = append(s.trace, TraceEntry{Proc: id, Label: label})
+	}
+	s.state[id] = stateRunning
+}
+
+// step grants one step to process id and waits for it to park again or
+// finish. It returns an error if the body panicked with a non-crash value.
+func (s *Session) step(id ProcID) error {
+	s.grantBookkeeping(id)
+	s.envs[id].grant <- grantMsg{}
+	ev := <-s.events
+	s.consume(ev)
+	if ev.kind == evDone && ev.failure != nil {
+		return fmt.Errorf("sched: process %d panicked: %v", ev.id, ev.failure)
+	}
+	if ev.id != id && s.state[id] == stateRunning {
+		// A granted process must be the next to report: the token design
+		// guarantees it. Anything else is a runtime invariant violation.
+		s.broken = true
+		return fmt.Errorf("sched: process %d reported while %d held the token", ev.id, id)
+	}
+	return nil
+}
+
+// crash delivers a crash to the parked process id and waits for its wrapper
+// to acknowledge. The process's pending label is preserved in lastLabel so
+// reports can show what it was about to execute.
+func (s *Session) crash(id ProcID) {
+	s.lastLabel[id] = s.pending[id]
+	s.crashed[id] = true
+	s.crashes++
+	s.state[id] = stateRunning
+	s.envs[id].grant <- grantMsg{crash: true}
+	for {
+		ev := <-s.events
+		s.consume(ev)
+		if ev.id == id && ev.kind == evDone {
+			return
+		}
+	}
+}
+
+// reapAll crash-unwinds every parked process so every goroutine re-parks for
+// the next run, then overwrites their status with the given terminal status.
+func (s *Session) reapAll(status Status) {
+	for i := range s.envs {
+		if s.state[i] != stateParked {
+			continue
+		}
+		id := ProcID(i)
+		s.lastLabel[id] = s.pending[id]
+		s.state[id] = stateRunning
+		s.envs[id].grant <- grantMsg{crash: true}
+		for {
+			ev := <-s.events
+			s.consume(ev)
+			if ev.id == id && ev.kind == evDone {
+				break
+			}
+		}
+		s.statuses[id] = status
+	}
+}
+
+func (s *Session) runnable() []ProcID {
+	ids := s.runnableBuf[:0]
+	for i, st := range s.state {
+		if st == stateParked {
+			ids = append(ids, ProcID(i))
+		}
+	}
+	s.runnableBuf = ids
+	return ids
+}
+
+func (s *Session) firstParked() ProcID {
+	for i, st := range s.state {
+		if st == stateParked {
+			return ProcID(i)
+		}
+	}
+	return -1
+}

@@ -1,0 +1,425 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sessionProtocols runs a subtest under both scheduling protocols.
+func sessionProtocols(t *testing.T, f func(t *testing.T, opts SessionOptions)) {
+	t.Helper()
+	for _, tc := range []struct {
+		name string
+		opts SessionOptions
+	}{
+		{"inline", SessionOptions{}},
+		{"rendezvous", SessionOptions{Rendezvous: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) { f(t, tc.opts) })
+	}
+}
+
+// crashyBodies is a deterministic workload whose runs exercise grants,
+// self-blocking spins and decisions.
+func crashyBodies(n, k int) []Proc {
+	bodies := make([]Proc, n)
+	for i := range bodies {
+		bodies[i] = counterBody(k)
+	}
+	return bodies
+}
+
+// crashyConfig is a run configuration with crashes placed mid-run, a fresh
+// adversary per call (adversaries are stateful).
+func crashyConfig(trace int) Config {
+	adv := NewPlan(NewRoundRobin()).CrashOnLabel(1, "inc/2", 1).CrashAtStep(9, 2)
+	return Config{Adversary: adv, TraceCapacity: trace, MaxCrashes: 3}
+}
+
+// TestSessionReuseDeterminism is the session-reuse regression: N back-to-back
+// runs on one Session produce byte-identical traces and outcomes to N runs
+// on fresh runtimes, crashes included.
+func TestSessionReuseDeterminism(t *testing.T) {
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		const n, k, rounds = 4, 6, 5
+		s, err := NewSessionWith(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for round := 0; round < rounds; round++ {
+			got, err := s.Run(crashyConfig(1<<10), crashyBodies(n, k))
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			want, err := Run(crashyConfig(1<<10), crashyBodies(n, k))
+			if err != nil {
+				t.Fatalf("round %d fresh: %v", round, err)
+			}
+			if len(got.Trace) == 0 || len(got.Trace) != len(want.Trace) {
+				t.Fatalf("round %d: trace lengths %d vs %d", round, len(got.Trace), len(want.Trace))
+			}
+			for i := range got.Trace {
+				if got.Trace[i] != want.Trace[i] {
+					t.Fatalf("round %d: traces diverge at %d: %v vs %v",
+						round, i, got.Trace[i], want.Trace[i])
+				}
+			}
+			if got.Steps != want.Steps || got.Crashes != want.Crashes {
+				t.Fatalf("round %d: totals differ: %+v vs %+v", round, got, want)
+			}
+			for i := range got.Outcomes {
+				if got.Outcomes[i] != want.Outcomes[i] {
+					t.Fatalf("round %d: outcome %d differs: %+v vs %+v",
+						round, i, got.Outcomes[i], want.Outcomes[i])
+				}
+			}
+		}
+	})
+}
+
+// TestProtocolEquivalence replays the same decision sequence under the inline
+// and the rendezvous protocols and requires byte-identical traces and
+// outcomes — the guarantee that the inline dispatch optimization is purely
+// an implementation detail.
+func TestProtocolEquivalence(t *testing.T) {
+	const n, k = 5, 7
+	run := func(opts SessionOptions) *Result {
+		s, err := NewSessionWith(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.Run(crashyConfig(1<<10), crashyBodies(n, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The result is pooled; copy what the comparison needs.
+		cp := *res
+		cp.Outcomes = append([]Outcome(nil), res.Outcomes...)
+		cp.Trace = append([]TraceEntry(nil), res.Trace...)
+		return &cp
+	}
+	inline, central := run(SessionOptions{}), run(SessionOptions{Rendezvous: true})
+	if len(inline.Trace) != len(central.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(inline.Trace), len(central.Trace))
+	}
+	for i := range inline.Trace {
+		if inline.Trace[i] != central.Trace[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, inline.Trace[i], central.Trace[i])
+		}
+	}
+	for i := range inline.Outcomes {
+		if inline.Outcomes[i] != central.Outcomes[i] {
+			t.Fatalf("outcome %d differs: %+v vs %+v", i, inline.Outcomes[i], central.Outcomes[i])
+		}
+	}
+	if inline.Steps != central.Steps || inline.Crashes != central.Crashes {
+		t.Fatalf("totals differ: %+v vs %+v", inline, central)
+	}
+}
+
+// TestSessionSurvivesErrorRuns: a session stays usable after a run fails
+// (body panic) and after a run is reaped on the step budget.
+func TestSessionSurvivesErrorRuns(t *testing.T) {
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		s, err := NewSessionWith(2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		// Run 1: a body panics; Run must surface the error.
+		boom := []Proc{
+			func(e *Env) { e.Step("boom"); panic("kaboom") },
+			counterBody(3),
+		}
+		if _, err := s.Run(Config{}, boom); err == nil {
+			t.Fatal("panicking body should fail the run")
+		}
+
+		// Run 2: budget exhaustion reaps both processes.
+		spin := func(e *Env) {
+			for {
+				e.Step("spin")
+			}
+		}
+		res, err := s.Run(Config{MaxSteps: 10}, []Proc{spin, spin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.BudgetExhausted || res.Outcomes[0].Status != StatusBlocked {
+			t.Fatalf("expected blocked outcome, got %+v", res)
+		}
+
+		// Run 3: MaxCrashes violation errors out.
+		adv := NewCrashSet(NewRoundRobin(), 0, 1)
+		if _, err := s.Run(Config{Adversary: adv, MaxCrashes: 1}, crashyBodies(2, 3)); err == nil {
+			t.Fatal("MaxCrashes violation should fail the run")
+		}
+
+		// Run 4: a normal run still works and is clean.
+		res, err = s.Run(Config{Adversary: NewRoundRobin()}, crashyBodies(2, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NumDecided() != 2 || res.Crashes != 0 || res.Steps != 6 {
+			t.Fatalf("post-error run corrupted: %+v", res)
+		}
+	})
+}
+
+// TestSessionRunAfterCloseFails verifies the closed-session guard.
+func TestSessionRunAfterCloseFails(t *testing.T) {
+	s, err := NewSession(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s.Close() // idempotent
+	if _, err := s.Run(Config{}, crashyBodies(1, 1)); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}
+
+// TestSessionBodyCountMismatch verifies the arity guard.
+func TestSessionBodyCountMismatch(t *testing.T) {
+	s, err := NewSession(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Run(Config{}, crashyBodies(3, 1)); err == nil {
+		t.Fatal("mismatched body count should fail")
+	}
+	if _, err := s.Run(Config{}, []Proc{counterBody(1), nil}); err == nil {
+		t.Fatal("nil body should fail")
+	}
+}
+
+// retainingAdversary retains the View slices across Next calls — documented
+// as invalid — and, after each decision, scribbles into the retained
+// Runnable alias. The runtime recomputes the runnable set into the View from
+// its own state every round, so mutations through stale aliases between
+// decisions must be erased before the next View is observed; retained slices
+// merely go stale (they alias a buffer the runtime keeps reusing), which is
+// why retaining is documented as invalid.
+type retainingAdversary struct {
+	base     Adversary
+	runnable []ProcID // retained alias of a previous round's View.Runnable
+	pending  []Label  // retained alias, read-only
+}
+
+func (a *retainingAdversary) Next(v View) Decision {
+	d := a.base.Next(v)
+	if a.pending != nil {
+		_ = a.pending[0] // stale reads are allowed, just meaningless
+	}
+	a.runnable = v.Runnable
+	a.pending = v.Pending
+	// Scribble through the alias after deciding. If the runtime trusted the
+	// handed-out buffer across rounds, the next round's View (and with it
+	// the schedule) would be corrupted.
+	for i := range a.runnable {
+		a.runnable[i] = ProcID(-7)
+	}
+	return d
+}
+
+// TestRetainingAdversaryCannotCorrupt: a View-retaining adversary (invalid
+// per the contract) that mutates its retained Runnable slice between
+// decisions must still see the same schedule as a well-behaved control,
+// across multiple runs of one session.
+func TestRetainingAdversaryCannotCorrupt(t *testing.T) {
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		const n, k = 3, 5
+		s, err := NewSessionWith(n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		for round := 0; round < 3; round++ {
+			got, err := s.Run(Config{
+				Adversary:     &retainingAdversary{base: NewRoundRobin()},
+				TraceCapacity: 1 << 10,
+			}, crashyBodies(n, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(Config{Adversary: NewRoundRobin(), TraceCapacity: 1 << 10},
+				crashyBodies(n, k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got.Trace) != len(want.Trace) {
+				t.Fatalf("round %d: trace lengths differ: %d vs %d",
+					round, len(got.Trace), len(want.Trace))
+			}
+			for i := range got.Trace {
+				if got.Trace[i] != want.Trace[i] {
+					t.Fatalf("round %d: retained-slice mutation changed the schedule at %d",
+						round, i)
+				}
+			}
+		}
+	})
+}
+
+// TestReapedWhileParkedOnStartLabel: a process that never received its start
+// grant when the budget runs out is reaped as StatusBlocked with the
+// synthetic start label as its last label and zero steps.
+func TestReapedWhileParkedOnStartLabel(t *testing.T) {
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		s, err := NewSessionWith(2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		spin := func(e *Env) {
+			for {
+				e.Step("spin")
+			}
+		}
+		// The adversary always runs process 0, so process 1 stays parked on
+		// its start label until the budget reaps it.
+		only0 := NewStriped(1<<30, 0)
+		res, err := s.Run(Config{Adversary: only0, MaxSteps: 5}, []Proc{spin, spin})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.BudgetExhausted {
+			t.Fatal("budget should have been exhausted")
+		}
+		o := res.Outcomes[1]
+		if o.Status != StatusBlocked {
+			t.Fatalf("proc 1 status = %v, want blocked", o.Status)
+		}
+		if o.Steps != 0 {
+			t.Fatalf("proc 1 steps = %d, want 0", o.Steps)
+		}
+		if o.LastLabel != LabelStart {
+			t.Fatalf("proc 1 last label = %q, want %q", o.LastLabel, StartLabel)
+		}
+		if res.Outcomes[0].Status != StatusBlocked || res.Outcomes[0].Steps != 5 {
+			t.Fatalf("proc 0 outcome: %+v", res.Outcomes[0])
+		}
+	})
+}
+
+// TestSessionSelfCrashMidRound: the adversary crashes the process that is
+// itself dispatching (inline protocol's delicate path) together with a
+// second victim in the same decision, then the run continues. Both
+// protocols must agree exactly.
+func TestSessionSelfCrashMidRound(t *testing.T) {
+	results := map[string]*Result{}
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		s, err := NewSessionWith(3, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		// Round-robin schedule; at step 4 crash processes 1 and 0 in one
+		// decision. Under the inline protocol the dispatcher at that point
+		// is the process that just parked — exercising both the self-crash
+		// detach and the crash-other unwind in a single round.
+		adv := NewPlan(NewRoundRobin()).CrashAtStep(4, 1, 0)
+		res, err := s.Run(Config{Adversary: adv, TraceCapacity: 1 << 10, MaxCrashes: 3},
+			crashyBodies(3, 6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crashes != 2 {
+			t.Fatalf("crashes = %d, want 2", res.Crashes)
+		}
+		if res.Outcomes[2].Status != StatusDecided {
+			t.Fatalf("survivor should decide: %+v", res.Outcomes[2])
+		}
+		cp := *res
+		cp.Outcomes = append([]Outcome(nil), res.Outcomes...)
+		cp.Trace = append([]TraceEntry(nil), res.Trace...)
+		name := "inline"
+		if opts.Rendezvous {
+			name = "rendezvous"
+		}
+		results[name] = &cp
+	})
+	a, b := results["inline"], results["rendezvous"]
+	if a == nil || b == nil {
+		t.Fatal("missing protocol result")
+	}
+	if fmt.Sprint(a.Outcomes) != fmt.Sprint(b.Outcomes) || len(a.Trace) != len(b.Trace) {
+		t.Fatalf("protocols disagree:\ninline: %+v\nrendezvous: %+v", a.Outcomes, b.Outcomes)
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+// panicky is an adversary that panics after a fixed number of decisions.
+type panicky struct{ left int }
+
+func (a *panicky) Next(v View) Decision {
+	if a.left <= 0 {
+		panic("adversary bug")
+	}
+	a.left--
+	return Decision{Run: v.Runnable[0]}
+}
+
+// TestAdversaryPanicFailsRunUnderBothProtocols: a panic inside
+// Adversary.Next surfaces as the same run error under both protocols, every
+// goroutine is reaped, and the session stays usable.
+func TestAdversaryPanicFailsRunUnderBothProtocols(t *testing.T) {
+	var msgs []string
+	sessionProtocols(t, func(t *testing.T, opts SessionOptions) {
+		s, err := NewSessionWith(2, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		_, err = s.Run(Config{Adversary: &panicky{left: 3}}, crashyBodies(2, 5))
+		if err == nil {
+			t.Fatal("adversary panic should fail the run")
+		}
+		msgs = append(msgs, err.Error())
+		// The session must still work.
+		res, err := s.Run(Config{Adversary: NewRoundRobin()}, crashyBodies(2, 3))
+		if err != nil || res.NumDecided() != 2 {
+			t.Fatalf("session unusable after adversary panic: %v %+v", err, res)
+		}
+	})
+	if len(msgs) == 2 && msgs[0] != msgs[1] {
+		t.Fatalf("protocols report different errors: %q vs %q", msgs[0], msgs[1])
+	}
+}
+
+// TestSessionManyRunsStress reuses one session for a large number of short
+// runs with rotating adversaries — the explorer's usage pattern in
+// miniature.
+func TestSessionManyRunsStress(t *testing.T) {
+	s, err := NewSession(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 500; i++ {
+		var adv Adversary
+		switch i % 3 {
+		case 0:
+			adv = NewRoundRobin()
+		case 1:
+			adv = NewRandom(int64(i))
+		default:
+			adv = NewPlan(NewRoundRobin()).CrashAtStep(i%7, ProcID(i%3))
+		}
+		res, err := s.Run(Config{Adversary: adv, MaxCrashes: 3}, crashyBodies(3, 4))
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+		if res.NumDecided()+res.Crashes != 3 {
+			t.Fatalf("run %d: %d decided + %d crashed != 3", i, res.NumDecided(), res.Crashes)
+		}
+	}
+}

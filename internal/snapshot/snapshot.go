@@ -32,10 +32,14 @@ type Snapshot[T any] interface {
 }
 
 // Primitive is a snapshot object whose Update and Scan are single atomic
-// steps, the granularity at which the paper's algorithms use mem.
+// steps, the granularity at which the paper's algorithms use mem. Step
+// labels are interned at construction, so operations perform no per-step
+// string work.
 type Primitive[T any] struct {
-	name  string
-	cells []T
+	name    string
+	updateL []sched.Label
+	scanL   sched.Label
+	cells   []T
 }
 
 var _ Snapshot[int] = (*Primitive[int])(nil)
@@ -45,18 +49,23 @@ func NewPrimitive[T any](name string, n int) *Primitive[T] {
 	if n <= 0 {
 		panic(fmt.Sprintf("snapshot: %q must have positive size, got %d", name, n))
 	}
-	return &Primitive[T]{name: name, cells: make([]T, n)}
+	return &Primitive[T]{
+		name:    name,
+		updateL: sched.InternIndexed("%s[%d].update", name, n),
+		scanL:   sched.Intern(name + ".scan"),
+		cells:   make([]T, n),
+	}
 }
 
 // Update implements Snapshot.
 func (s *Primitive[T]) Update(e *sched.Env, i int, v T) {
-	e.Step(fmt.Sprintf("%s[%d].update", s.name, i))
+	e.StepL(s.updateL[i])
 	s.cells[i] = v
 }
 
 // Scan implements Snapshot.
 func (s *Primitive[T]) Scan(e *sched.Env) []T {
-	e.Step(s.name + ".scan")
+	e.StepL(s.scanL)
 	out := make([]T, len(s.cells))
 	copy(out, s.cells)
 	return out
@@ -86,19 +95,22 @@ type Afek[T any] struct {
 
 var _ Snapshot[int] = (*Afek[int])(nil)
 
-// regArray is a minimal SWMR register array; each access is one step.
+// regArray is a minimal SWMR register array; each access is one step, with
+// the per-cell labels interned at construction.
 type regArray[T any] struct {
-	name  string
-	cells []afekCell[T]
+	name   string
+	readL  []sched.Label
+	writeL []sched.Label
+	cells  []afekCell[T]
 }
 
 func (a *regArray[T]) read(e *sched.Env, i int) afekCell[T] {
-	e.Step(fmt.Sprintf("%s[%d].read", a.name, i))
+	e.StepL(a.readL[i])
 	return a.cells[i]
 }
 
 func (a *regArray[T]) write(e *sched.Env, i int, c afekCell[T]) {
-	e.Step(fmt.Sprintf("%s[%d].write", a.name, i))
+	e.StepL(a.writeL[i])
 	a.cells[i] = c
 }
 
@@ -107,7 +119,12 @@ func NewAfek[T any](name string, n int) *Afek[T] {
 	if n <= 0 {
 		panic(fmt.Sprintf("snapshot: %q must have positive size, got %d", name, n))
 	}
-	return &Afek[T]{regs: &regArray[T]{name: name, cells: make([]afekCell[T], n)}}
+	return &Afek[T]{regs: &regArray[T]{
+		name:   name,
+		readL:  sched.InternIndexed("%s[%d].read", name, n),
+		writeL: sched.InternIndexed("%s[%d].write", name, n),
+		cells:  make([]afekCell[T], n),
+	}}
 }
 
 // Len implements Snapshot.
