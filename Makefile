@@ -1,7 +1,9 @@
-# Development entry points. CI should run: make build vet test explore-smoke
+# Development entry points. CI should run:
+#   make build vet test explore-smoke   (test job)
+#   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json explore-smoke experiments
+.PHONY: build vet test bench bench-json explore-smoke experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -18,7 +20,9 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Perf trajectory: exhaustive-sweep throughput (sequential respawning
-# baseline vs session-reuse vs parallel) recorded as BENCH_explore.json.
+# baseline vs session-reuse vs parallel, each without and with state-dedup)
+# recorded as BENCH_explore.json. Fails if the best dedup runs-explored
+# reduction drops below 2x.
 bench-json: build
 	$(GO) run ./cmd/benchexplore -o BENCH_explore.json
 
@@ -29,7 +33,16 @@ explore-smoke: build
 	$(GO) run ./cmd/explore -object safe -n 2 -crashes 0,1 -maxruns 5000 -compare
 	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune
 	$(GO) run ./cmd/explore -object commitadopt -n 2,3 -maxruns 5000 -prune
+	$(GO) run ./cmd/explore -object commitadopt -n 2,3 -maxruns 5000 -dedup -compare
+	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune -dedup
 	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -maxruns 2000
+
+# Docs/health gate (CI's docs job): formatting must be clean, vet must pass,
+# and every relative link in README.md and docs/*.md must resolve.
+docs-check:
+	@fmt="$$(gofmt -l .)"; if [ -n "$$fmt" ]; then echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/linkcheck README.md docs examples/README.md
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -1,11 +1,17 @@
 // Command benchexplore records the exhaustive-exploration throughput
 // trajectory: it runs the commit-adopt and x-safe exhaustive sweeps under
-// three engines — the PR-1 style sequential respawning explorer, the
-// sequential session-reuse explorer, and the parallel session-backed worker
-// pool — and writes the runs/sec results as JSON (BENCH_explore.json via
-// `make bench-json`). Every cell asserts the engines visited identical state
-// spaces before reporting, so a number in the file is also a passed
-// determinism check.
+// five engines — the PR-1 style sequential respawning explorer, the
+// sequential session-reuse explorer, the parallel session-backed worker
+// pool, and the sequential + parallel engines with state-fingerprint
+// deduplication — and writes the runs/sec results as JSON
+// (BENCH_explore.json via `make bench-json`).
+//
+// Every tree-walking cell asserts the engines visited identical state spaces
+// before reporting, so a number in the file is also a passed determinism
+// check. The dedup cells assert the exhaustion verdict is unchanged and that
+// the visited-run count never exceeds the tree walk's; the run as a whole
+// asserts at least one sweep reaches a >= 2x runs-explored reduction (the
+// dedup regression gate).
 //
 // Usage:
 //
@@ -18,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"mpcn/internal/explore"
@@ -39,6 +46,11 @@ type Record struct {
 	Pruned     int     `json:"pruned"`
 	ElapsedSec float64 `json:"elapsed_sec"`
 	RunsPerSec float64 `json:"runs_per_sec"`
+	// Dedup-engine extras: distinct states visited, visited-state hits, and
+	// the runs-explored reduction vs the same engine without dedup.
+	DedupStates int64   `json:"dedup_states,omitempty"`
+	DedupHits   int64   `json:"dedup_hits,omitempty"`
+	ReductionX  float64 `json:"reduction_x,omitempty"`
 }
 
 // Report is the file layout of BENCH_explore.json.
@@ -82,15 +94,27 @@ func run(out string, workers, reps int) error {
 		Workers:       workers,
 		Reps:          reps,
 	}
+	bestReduction := 0.0
 	for _, sw := range sweeps {
 		var baseline explore.Stats
-		for _, engine := range []string{"sequential-respawn", "sequential-session", "parallel-session"} {
+		for _, engine := range []string{
+			"sequential-respawn", "sequential-session", "parallel-session",
+			"sequential-session-dedup", "parallel-session-dedup",
+		} {
 			best, err := measure(sw, engine, workers, reps)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", sw.name, engine, err)
 			}
+			dedup := strings.HasSuffix(engine, "-dedup")
 			if engine == "sequential-respawn" {
 				baseline = best
+			} else if dedup {
+				// Dedup cuts converged subtrees: the verdict must match the
+				// tree walk, the visited-run count must not exceed it.
+				if best.Runs > baseline.Runs {
+					return fmt.Errorf("%s/%s: dedup explored MORE runs than the tree walk: %d vs %d",
+						sw.name, engine, best.Runs, baseline.Runs)
+				}
 			} else if best.Runs != baseline.Runs || best.Pruned != baseline.Pruned {
 				return fmt.Errorf("%s/%s: state space diverged from the respawn baseline: %d/%d vs %d/%d runs/pruned",
 					sw.name, engine, best.Runs, best.Pruned, baseline.Runs, baseline.Pruned)
@@ -103,10 +127,24 @@ func run(out string, workers, reps int) error {
 				ElapsedSec: best.Elapsed.Seconds(),
 				RunsPerSec: best.RunsPerSec(),
 			}
+			if dedup {
+				rec.DedupStates = best.Dedup.States
+				rec.DedupHits = best.Dedup.Hits
+				rec.ReductionX = float64(baseline.Runs) / float64(best.Runs)
+				if rec.ReductionX > bestReduction {
+					bestReduction = rec.ReductionX
+				}
+				fmt.Printf("%-28s %-26s %8d runs %10.0f runs/sec %8.1fx fewer runs\n",
+					sw.name, engine, rec.Runs, rec.RunsPerSec, rec.ReductionX)
+			} else {
+				fmt.Printf("%-28s %-26s %8d runs %10.0f runs/sec\n",
+					sw.name, engine, rec.Runs, rec.RunsPerSec)
+			}
 			report.Records = append(report.Records, rec)
-			fmt.Printf("%-28s %-20s %8d runs %10.0f runs/sec\n",
-				sw.name, engine, rec.Runs, rec.RunsPerSec)
 		}
+	}
+	if bestReduction < 2 {
+		return fmt.Errorf("dedup regression: best runs-explored reduction %.2fx < 2x", bestReduction)
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -132,12 +170,17 @@ func measure(sw sweep, engine string, workers, reps int) (explore.Stats, error) 
 		switch engine {
 		case "sequential-respawn":
 			cfg.Respawn = true
-			s := sw.newSession()
-			stats, err = explore.Explore(s.Make, s.Check, cfg)
+			stats, err = explore.ExploreSession(sw.newSession(), cfg)
 		case "sequential-session":
-			s := sw.newSession()
-			stats, err = explore.Explore(s.Make, s.Check, cfg)
+			stats, err = explore.ExploreSession(sw.newSession(), cfg)
 		case "parallel-session":
+			cfg.Workers = workers
+			stats, err = explore.ExploreParallel(sw.newSession, cfg)
+		case "sequential-session-dedup":
+			cfg.Dedup = true
+			stats, err = explore.ExploreSession(sw.newSession(), cfg)
+		case "parallel-session-dedup":
+			cfg.Dedup = true
 			cfg.Workers = workers
 			stats, err = explore.ExploreParallel(sw.newSession, cfg)
 		default:

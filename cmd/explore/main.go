@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	explore -object safe        -n 2,3 -crashes 0,1 [-prune] [-workers 8]
+//	explore -object safe        -n 2,3 -crashes 0,1 [-prune] [-dedup] [-workers 8]
 //	explore -object xsafe       -n 2,3 -x 1,2 -crashes 0,1 -prune
-//	explore -object commitadopt -n 2 -crashes 0,1
+//	explore -object commitadopt -n 2 -crashes 0,1 -dedup
 //	explore -object bg          -n 2,3 -t 1 -maxruns 20000
 //	explore -object registers   -n 3 -prune -compare
 //
@@ -23,6 +23,11 @@
 // -compare additionally runs the sequential explorer on every cell and
 // verifies that the parallel engine visited the identical state space — the
 // determinism guarantee the engine's tests rely on.
+//
+// -dedup enables state-fingerprint deduplication (visited-state cut-offs;
+// bound the store with -dedupmem). Under -dedup the parallel engine's
+// visited-run count depends on worker timing, so -compare only verifies the
+// exhaustion verdict and reports the sequential run count alongside.
 package main
 
 import (
@@ -43,19 +48,21 @@ func main() {
 }
 
 type options struct {
-	object  string
-	ns      []int
-	xs      []int
-	ts      []int
-	crashes []int
-	steps   []int
-	probes  int
-	workers int
-	maxRuns int
-	prune   bool
-	compare bool
-	seq     bool
-	respawn bool
+	object   string
+	ns       []int
+	xs       []int
+	ts       []int
+	crashes  []int
+	steps    []int
+	probes   int
+	workers  int
+	maxRuns  int
+	prune    bool
+	dedup    bool
+	dedupMem int
+	compare  bool
+	seq      bool
+	respawn  bool
 }
 
 func run(args []string, out io.Writer) int {
@@ -72,6 +79,8 @@ func run(args []string, out io.Writer) int {
 	fs.IntVar(&o.workers, "workers", 0, "worker pool size (<= 0 selects the default)")
 	fs.IntVar(&o.maxRuns, "maxruns", 0, "abort each cell after this many runs (0 = exhaustive)")
 	fs.BoolVar(&o.prune, "prune", false, "enable partial-order reduction")
+	fs.BoolVar(&o.dedup, "dedup", false, "enable state-fingerprint deduplication (visited-state cut-offs)")
+	fs.IntVar(&o.dedupMem, "dedupmem", 0, "visited-state store budget in MiB (0 = default 64)")
 	fs.BoolVar(&o.compare, "compare", false, "verify the parallel run count against the sequential explorer")
 	fs.BoolVar(&o.seq, "seq", false, "use the sequential explorer only")
 	fs.BoolVar(&o.respawn, "respawn", false, "respawn the scheduler per run (pre-session baseline; for comparisons)")
@@ -153,12 +162,13 @@ func sweep(o options, out io.Writer) error {
 			MaxRuns:    o.maxRuns,
 			Workers:    o.workers,
 			Prune:      o.prune,
+			Dedup:      o.dedup,
+			DedupMem:   o.dedupMem << 20,
 			Respawn:    o.respawn,
 		}
 		var stats explore.Stats
 		if o.seq {
-			s := newSession()
-			stats, err = explore.Explore(s.Make, s.Check, cfg)
+			stats, err = explore.ExploreSession(newSession(), cfg)
 		} else {
 			stats, err = explore.ExploreParallel(newSession, cfg)
 		}
@@ -172,13 +182,22 @@ func sweep(o options, out io.Writer) error {
 		fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s %s\n",
 			c, stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
 			stats.Elapsed.Round(stats.Elapsed/100+1), verdict)
+		if o.dedup {
+			fmt.Fprintf(out, "%-40s %s\n", "  (dedup)", stats.Dedup)
+		}
 		if o.compare && !o.seq {
-			s := newSession()
-			seq, err := explore.Explore(s.Make, s.Check, cfg)
+			seq, err := explore.ExploreSession(newSession(), cfg)
 			if err != nil {
 				return fmt.Errorf("%v (sequential): %w", c, err)
 			}
-			if seq.Runs != stats.Runs || seq.Exhausted != stats.Exhausted || seq.Pruned != stats.Pruned {
+			if o.dedup {
+				// Parallel dedup run counts are timing-dependent; only the
+				// verdict is comparable.
+				if seq.Exhausted != stats.Exhausted {
+					return fmt.Errorf("%v: parallel/sequential verdict divergence under dedup: par=%v seq=%v",
+						c, stats.Exhausted, seq.Exhausted)
+				}
+			} else if seq.Runs != stats.Runs || seq.Exhausted != stats.Exhausted || seq.Pruned != stats.Pruned {
 				return fmt.Errorf("%v: parallel/sequential divergence: par={runs:%d pruned:%d} seq={runs:%d pruned:%d}",
 					c, stats.Runs, stats.Pruned, seq.Runs, seq.Pruned)
 			}

@@ -1,0 +1,137 @@
+// Command linkcheck validates the repository's markdown cross-references:
+// every relative link target in the given files (or directories, scanned for
+// *.md) must exist, and every same-file #anchor must match a heading. It is
+// the docs half of `make docs-check` (CI's docs/health job).
+//
+// External links (http, https, mailto) are deliberately NOT fetched: CI must
+// stay hermetic. They are only checked for obvious malformation (empty
+// target).
+//
+// Usage:
+//
+//	linkcheck README.md docs examples/README.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md|dir>...")
+		os.Exit(2)
+	}
+	var files []string
+	for _, arg := range os.Args[1:] {
+		info, err := os.Stat(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+		if info.IsDir() {
+			matches, err := filepath.Glob(filepath.Join(arg, "*.md"))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+				os.Exit(1)
+			}
+			files = append(files, matches...)
+		} else {
+			files = append(files, arg)
+		}
+	}
+	broken := 0
+	for _, f := range files {
+		broken += checkFile(f)
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+	fmt.Printf("linkcheck: %d file(s) clean\n", len(files))
+}
+
+// linkRe matches inline markdown links [text](target); targets with spaces
+// or nested parens are out of scope for this repository's docs.
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// codeFenceRe strips fenced code blocks so example snippets (which legally
+// contain pseudo-links) are not checked.
+var codeFenceRe = regexp.MustCompile("(?s)```.*?```")
+
+func checkFile(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+		return 1
+	}
+	content := string(data)
+	anchors := headingAnchors(content)
+	body := codeFenceRe.ReplaceAllString(content, "")
+	broken := 0
+	for _, m := range linkRe.FindAllStringSubmatch(body, -1) {
+		target := m[1]
+		switch {
+		case target == "":
+			fmt.Fprintf(os.Stderr, "%s: empty link target\n", path)
+			broken++
+		case strings.HasPrefix(target, "http://"),
+			strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"):
+			// External: left to humans; CI stays offline.
+		case strings.HasPrefix(target, "#"):
+			if !anchors[strings.TrimPrefix(target, "#")] {
+				fmt.Fprintf(os.Stderr, "%s: broken anchor %s\n", path, target)
+				broken++
+			}
+		default:
+			rel := target
+			if i := strings.IndexByte(rel, '#'); i >= 0 {
+				rel = rel[:i] // cross-file anchors: check file existence only
+			}
+			resolved := filepath.Join(filepath.Dir(path), rel)
+			if _, err := os.Stat(resolved); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: broken link %s (resolved %s)\n", path, target, resolved)
+				broken++
+			}
+		}
+	}
+	return broken
+}
+
+// headingAnchors collects the GitHub-style anchor slugs of every heading.
+func headingAnchors(content string) map[string]bool {
+	anchors := make(map[string]bool)
+	inFence := false
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		anchors[slugify(text)] = true
+	}
+	return anchors
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase, spaces
+// to hyphens, markdown emphasis and punctuation dropped.
+func slugify(heading string) string {
+	s := strings.TrimSpace(strings.ToLower(heading))
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r > 127:
+			b.WriteRune(r)
+		case r == ' ', r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

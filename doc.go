@@ -14,10 +14,19 @@
 // (internal/explore) replays millions of runs per sweep on one Session per
 // worker; sched.Run remains the one-shot entry point for single runs.
 //
+// Exploration scales through three knobs on explore.Config: Workers (the
+// frontier-sharded parallel walk), Prune (partial-order reduction over
+// interned labels) and Dedup (canonical state fingerprints — sched.FP /
+// sched.Fingerprinter digests of shared-object state and per-process control
+// points — looked up in a bounded, sharded visited-state store, so converged
+// schedules are explored once: graph exploration instead of a tree walk).
+// Dedup requires the harness to supply an explore.Session.Fingerprint; the
+// soundness contract is spelled out in docs/ARCHITECTURE.md.
+//
 // See README.md for the architecture overview (including the exhaustive
-// explorer); cmd/experiments prints the paper-claim vs. measured record
-// (E1..E16). The benchmarks in bench_test.go regenerate every figure and
-// table artifact; run them with
+// explorer) and docs/ for the deep dives; cmd/experiments prints the
+// paper-claim vs. measured record (E1..E16). The benchmarks in bench_test.go
+// regenerate every figure and table artifact; run them with
 //
 //	go test -bench=. -benchmem .
 package mpcn

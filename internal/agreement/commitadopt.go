@@ -32,6 +32,23 @@ type caCell struct {
 	v   any
 }
 
+// Fingerprint implements sched.Fingerprinter so caCell values folded through
+// the phase snapshots hash without fmt formatting.
+func (c caCell) Fingerprint(h *sched.FP) {
+	h.Bool(c.set)
+	h.Value(c.v)
+}
+
+// Fingerprint implements sched.Fingerprinter: both phase memories plus the
+// per-process proposed flags.
+func (ca *CommitAdopt) Fingerprint(h *sched.FP) {
+	ca.phase[0].(sched.Fingerprinter).Fingerprint(h)
+	ca.phase[1].(sched.Fingerprinter).Fingerprint(h)
+	for _, d := range ca.done {
+		h.Bool(d)
+	}
+}
+
 // NewCommitAdopt returns a commit-adopt object for n processes.
 func NewCommitAdopt(name string, n int) *CommitAdopt {
 	if n < 1 {

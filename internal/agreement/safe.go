@@ -11,11 +11,18 @@
 //     are determined dynamically by x_compete; termination survives up to
 //     x-1 owner crashes during propose, which is what makes the reverse
 //     simulation (Section 4) tolerate t' = t·x + (x-1) simulator crashes.
+//   - commit-adopt: the classic wait-free weakening of consensus at the core
+//     of safe_agreement's level-1/level-2 discipline (compare Figure 1),
+//     provided standalone for the exhaustive-exploration harnesses.
 //
 // All Decide operations come in two forms: a spinning Decide for standalone
 // use and a non-blocking TryDecide for BG-style simulators, whose threads
 // must yield to sibling threads between probes instead of spinning the whole
 // simulator.
+//
+// Every object implements sched.Fingerprinter, so the exploration harnesses
+// can fold agreement state into the state digests behind
+// explore.Config.Dedup.
 package agreement
 
 import (
@@ -38,6 +45,13 @@ type saCell struct {
 	level int
 }
 
+// Fingerprint implements sched.Fingerprinter so saCell values folded through
+// the backing snapshot hash without fmt formatting.
+func (c saCell) Fingerprint(h *sched.FP) {
+	h.Value(c.value)
+	h.Int(c.level)
+}
+
 // SafeAgreement is the safe_agreement object type of Figure 1, implemented
 // over an n-component snapshot object (one component per simulator). Each
 // simulator may invoke Propose at most once, then Decide/TryDecide.
@@ -54,6 +68,15 @@ func NewSafeAgreement(name string, n int) *SafeAgreement {
 		sm:       snapshot.NewPrimitive[saCell](name+".SM", n),
 		proposed: make(map[sched.ProcID]bool),
 	}
+}
+
+// Fingerprint implements sched.Fingerprinter: it folds the SM snapshot and
+// the (unordered) set of simulators that already proposed. The backing
+// snapshot must itself be a sched.Fingerprinter (both provided
+// implementations are).
+func (s *SafeAgreement) Fingerprint(h *sched.FP) {
+	s.sm.(sched.Fingerprinter).Fingerprint(h)
+	h.ProcSet(s.proposed)
 }
 
 // Propose proposes v on behalf of the calling simulator (Figure 1, lines

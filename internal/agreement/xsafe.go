@@ -49,6 +49,15 @@ func NewXCompete(name string, x int, provider TASProvider) *XCompete {
 	return &XCompete{name: name, ts: ts}
 }
 
+// Fingerprint implements sched.Fingerprinter: every test&set of the cascade
+// in order. The provider's objects must themselves be Fingerprinters (the
+// primitive test&set and the hierarchy constructions are).
+func (c *XCompete) Fingerprint(h *sched.FP) {
+	for _, t := range c.ts {
+		t.(sched.Fingerprinter).Fingerprint(h)
+	}
+}
+
 // Compete runs the cascade (Figure 5) and reports whether the caller is one
 // of the at most x winners.
 func (c *XCompete) Compete(e *sched.Env) bool {
@@ -65,6 +74,13 @@ func (c *XCompete) Compete(e *sched.Env) bool {
 type xsagResult struct {
 	set bool
 	v   any
+}
+
+// Fingerprint implements sched.Fingerprinter so xsagResult values folded
+// through the result register hash without fmt formatting.
+func (r xsagResult) Fingerprint(h *sched.FP) {
+	h.Bool(r.set)
+	h.Value(r.v)
 }
 
 // XSafeFactory builds x_safe_agreement objects for a fixed population of n
@@ -140,6 +156,22 @@ func (xs *XSafeAgreement) consAt(l int) *object.XConsensus {
 			fmt.Sprintf("%s.XCONS[%d]", xs.name, l), xs.f.x, ids)
 	}
 	return xs.xcons[l]
+}
+
+// Fingerprint implements sched.Fingerprinter: the compete cascade, the
+// lazily-created consensus objects (slot by slot), the result register and
+// the proposed set.
+func (xs *XSafeAgreement) Fingerprint(h *sched.FP) {
+	xs.compete.Fingerprint(h)
+	for _, c := range xs.xcons {
+		if c == nil {
+			h.Word(0)
+			continue
+		}
+		c.Fingerprint(h)
+	}
+	xs.result.Fingerprint(h)
+	h.ProcSet(xs.proposed)
 }
 
 // Propose proposes v (Figure 6, lines 01-08). The caller first competes for

@@ -1,0 +1,260 @@
+// The visited-state store behind Config.Dedup: a lock-striped,
+// power-of-two-sharded fingerprint set with a bounded-memory eviction policy
+// and per-shard stats.
+//
+// Exploration with Dedup computes a canonical state fingerprint at every NEW
+// decision node (sched control points + the harness's Session.Fingerprint)
+// and asks the store whether the state was already visited. A hit cuts the
+// node's subtree: the whole decision tree below a converged state collapses
+// to the single leftmost completion path, converting the DFS over the
+// decision *tree* into exploration of the state *graph*.
+//
+// Soundness (why cutting at a hit never loses behaviors):
+//
+//   - Subtree ownership is structural, not store-mediated. A node is
+//     fingerprinted exactly once — when the walker first creates it (depth >=
+//     the replay's backtrack point); re-traversals of the node during later
+//     replays of the same prefix skip the store entirely. The first inserter
+//     of a fingerprint therefore always finishes expanding its subtree, no
+//     matter what happens to the store afterwards: evictions and capacity
+//     limits only cause re-expansion (lost reduction), never lost coverage.
+//   - States below a cut are not inserted: a cut run completes along its
+//     leftmost remaining path without claiming ownership of anything, so a
+//     hit can only ever cite a state whose first visitor expands it.
+//   - The fingerprint covers everything that determines the subtree: the
+//     shared-object state and harness logs (Session.Fingerprint), each
+//     process's control point (pending label, crashed flag, step count — so
+//     states are depth-stamped and the state graph is acyclic, which also
+//     makes cuts safe under MaxSteps), each process's observation digest
+//     (sched.Observe: every value read from shared state, which pins the
+//     in-flight local state that control points alone cannot — e.g. a
+//     commit-adopt proposer's scanned-but-unwritten vote), and, under
+//     Prune, the previous decision (the partial-order-reduction context;
+//     see explore.go).
+//   - The remaining gap is 128-bit fingerprint collisions (astronomically
+//     unlikely, inherent to hashing checkers) and harnesses whose checkers
+//     observe state outside the fingerprint — Session.Fingerprint documents
+//     that contract.
+//
+// The store is shared by every worker of a parallel exploration: a state
+// first visited in one worker's subtree cuts converged branches in all
+// others. Coverage is unaffected (the first inserter still exhausts its
+// subtree, workers abandon subtrees only when the whole exploration stops),
+// but which branches get cut — and hence the visited-run count — depends on
+// worker timing; only the sequential explorer's dedup run counts are
+// deterministic.
+
+package explore
+
+import (
+	"fmt"
+	"sync"
+
+	"mpcn/internal/sched"
+)
+
+const (
+	// dedupEntryBytes is the in-table size of one visited state.
+	dedupEntryBytes = 24
+	// dedupProbeWindow is the linear-probe window; an insert that finds the
+	// whole window occupied evicts the window's oldest entry.
+	dedupProbeWindow = 16
+	// DefaultDedupMem bounds the visited-state store when Config.DedupMem is
+	// zero: 64 MiB ≈ 2.7M resident states.
+	DefaultDedupMem = 64 << 20
+	// DefaultDedupShards is the lock-stripe count when Config.DedupShards is
+	// zero. 64 shards keep contention negligible for any sane worker count.
+	DefaultDedupShards = 64
+)
+
+// dedupEntry is one resident fingerprint. stamp is the shard-local insertion
+// (or last-hit) sequence number; 0 marks an empty slot.
+type dedupEntry struct {
+	lo, hi uint64
+	stamp  uint64
+}
+
+// dedupShard is one lock stripe: a power-of-two open-addressing table with
+// window-local oldest-entry eviction (an approximate LRU — hits refresh the
+// stamp — that makes the store's memory strictly bounded).
+type dedupShard struct {
+	mu      sync.Mutex
+	slots   []dedupEntry
+	mask    uint64
+	stamp   uint64
+	occ     int
+	lookups int64
+	hits    int64
+	inserts int64
+	evicted int64
+}
+
+// dedupStore is the sharded visited-state set. Shard selection uses the
+// fingerprint's high half, slot addressing its low half, so the two are
+// uncorrelated.
+type dedupStore struct {
+	shards []dedupShard
+	mask   uint64
+}
+
+// ceilPow2 rounds up to a power of two (minimum 1).
+func ceilPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// newDedupStore sizes a store to memBytes across shards lock stripes.
+// shards is rounded up to a power of two; each shard's slot count is the
+// largest power of two fitting its share of the budget (minimum one probe
+// window).
+func newDedupStore(memBytes, shards int) *dedupStore {
+	if memBytes <= 0 {
+		memBytes = DefaultDedupMem
+	}
+	if shards <= 0 {
+		shards = DefaultDedupShards
+	}
+	shards = ceilPow2(shards)
+	perShard := memBytes / shards / dedupEntryBytes
+	slots := 1
+	for slots*2 <= perShard {
+		slots <<= 1
+	}
+	if slots < dedupProbeWindow {
+		slots = dedupProbeWindow
+	}
+	st := &dedupStore{shards: make([]dedupShard, shards), mask: uint64(shards - 1)}
+	for i := range st.shards {
+		st.shards[i].slots = make([]dedupEntry, slots)
+		st.shards[i].mask = uint64(slots - 1)
+	}
+	return st
+}
+
+// visit reports whether fp was already in the store, inserting it if not.
+// Exactly one caller ever gets "false" for a given resident fingerprint; a
+// full probe window evicts its oldest entry (bounded memory, approximate
+// LRU).
+func (st *dedupStore) visit(fp sched.Fingerprint) bool {
+	sh := &st.shards[fp.Hi&st.mask]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.lookups++
+	home := fp.Lo
+	victim := -1
+	var victimStamp uint64
+	free := -1
+	for i := uint64(0); i < dedupProbeWindow; i++ {
+		s := &sh.slots[(home+i)&sh.mask]
+		if s.stamp == 0 {
+			if free < 0 {
+				free = int((home + i) & sh.mask)
+			}
+			continue
+		}
+		if s.lo == fp.Lo && s.hi == fp.Hi {
+			sh.hits++
+			sh.stamp++
+			s.stamp = sh.stamp // refresh: hot states stay resident
+			return true
+		}
+		if victim < 0 || s.stamp < victimStamp {
+			victim = int((home + i) & sh.mask)
+			victimStamp = s.stamp
+		}
+	}
+	slot := free
+	if slot < 0 {
+		slot = victim
+		sh.evicted++
+	} else {
+		sh.occ++
+	}
+	sh.stamp++
+	sh.inserts++
+	sh.slots[slot] = dedupEntry{lo: fp.Lo, hi: fp.Hi, stamp: sh.stamp}
+	return false
+}
+
+// DedupStats summarizes the visited-state store of one exploration (zero
+// unless Config.Dedup was set).
+type DedupStats struct {
+	// Lookups is the number of fingerprint probes (one per new decision
+	// node).
+	Lookups int64
+	// Hits is the number of probes that found their state already visited —
+	// each hit cut one converged subtree.
+	Hits int64
+	// States is the number of fingerprints inserted (distinct states
+	// discovered; evicted states that are re-discovered count again).
+	States int64
+	// Evictions is the number of resident states dropped by the
+	// bounded-memory policy. Evictions never make cuts unsound — they only
+	// cost reduction (an evicted state found again is re-expanded).
+	Evictions int64
+	// CutAlternatives is the number of decision alternatives dropped inside
+	// cut subtrees (the dedup analogue of Stats.Pruned).
+	CutAlternatives int
+	// Shards, Capacity and Occupied describe the store: lock stripes, total
+	// entry slots and slots in use when the exploration finished.
+	Shards   int
+	Capacity int
+	Occupied int
+}
+
+// String renders the store counters compactly.
+func (d DedupStats) String() string {
+	return fmt.Sprintf("states=%d hits=%d cut=%d evictions=%d occupied=%d/%d shards=%d",
+		d.States, d.Hits, d.CutAlternatives, d.Evictions, d.Occupied, d.Capacity, d.Shards)
+}
+
+// snapshot aggregates the per-shard counters.
+func (st *dedupStore) snapshot() DedupStats {
+	var d DedupStats
+	if st == nil {
+		return d
+	}
+	d.Shards = len(st.shards)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		d.Lookups += sh.lookups
+		d.Hits += sh.hits
+		d.States += sh.inserts
+		d.Evictions += sh.evicted
+		d.Capacity += len(sh.slots)
+		d.Occupied += sh.occ
+		sh.mu.Unlock()
+	}
+	return d
+}
+
+// ShardStats reports one lock stripe's counters (diagnostic surface for
+// tuning DedupShards/DedupMem).
+type ShardStats struct {
+	Shard     int
+	Lookups   int64
+	Hits      int64
+	States    int64
+	Evictions int64
+	Occupied  int
+	Capacity  int
+}
+
+// shardStats snapshots every stripe.
+func (st *dedupStore) shardStats() []ShardStats {
+	out := make([]ShardStats, len(st.shards))
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		out[i] = ShardStats{
+			Shard: i, Lookups: sh.lookups, Hits: sh.hits, States: sh.inserts,
+			Evictions: sh.evicted, Occupied: sh.occ, Capacity: len(sh.slots),
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,219 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpcn/internal/agreement"
+	"mpcn/internal/sched"
+)
+
+// The harnesses below mirror internal/explore/sessions (which cannot be
+// imported from here — it depends on this package). Keeping them in sync is
+// cheap; what matters is that they exercise the same snapshot-based
+// agreement objects whose proposers carry scanned views in locals.
+
+func sessionCommitAdopt(n int) func() Session {
+	type out struct {
+		v         any
+		committed bool
+	}
+	return func() Session {
+		var outs []out
+		var ca *agreement.CommitAdopt
+		bodies := make([]sched.Proc, n)
+		for i := range bodies {
+			v := 100 + i
+			bodies[i] = func(e *sched.Env) {
+				got, c := ca.Propose(e, v)
+				outs = append(outs, out{v: got, committed: c})
+				e.Decide(got)
+			}
+		}
+		return Session{
+			Make: func() []sched.Proc {
+				outs = outs[:0]
+				ca = agreement.NewCommitAdopt("ca", n)
+				return bodies
+			},
+			Check: func(res *sched.Result) error { return nil },
+			Fingerprint: func(h *sched.FP) {
+				ca.Fingerprint(h)
+				var sum uint64
+				for _, o := range outs {
+					var t sched.FP
+					t.Value(o.v)
+					t.Bool(o.committed)
+					sum += sched.Mix(t.Sum().Lo)
+				}
+				h.Int(len(outs))
+				h.Word(sum)
+			},
+		}
+	}
+}
+
+func sessionSafeAgreement(n, probes int) func() Session {
+	return func() Session {
+		var decided []any
+		var sa *agreement.SafeAgreement
+		return Session{
+			Make: func() []sched.Proc {
+				decided = decided[:0]
+				sa = agreement.NewSafeAgreement("sa", n)
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						sa.Propose(e, v)
+						for p := 0; p < probes; p++ {
+							if got, ok := sa.TryDecide(e); ok {
+								decided = append(decided, got)
+								e.Decide(got)
+								return
+							}
+						}
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error { return nil },
+			Fingerprint: func(h *sched.FP) {
+				sa.Fingerprint(h)
+				var sum uint64
+				for _, v := range decided {
+					var t sched.FP
+					t.Value(v)
+					sum += sched.Mix(t.Sum().Lo)
+				}
+				h.Int(len(decided))
+				h.Word(sum)
+			},
+		}
+	}
+}
+
+func sessionXSafe(n, x, probes int) func() Session {
+	return func() Session {
+		var decided []any
+		var xs *agreement.XSafeAgreement
+		return Session{
+			Make: func() []sched.Proc {
+				decided = decided[:0]
+				xs = agreement.NewXSafeFactory(n, x, nil).New("xsa")
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					v := 100 + i
+					bodies[i] = func(e *sched.Env) {
+						xs.Propose(e, v)
+						for p := 0; p < probes; p++ {
+							if got, ok := xs.TryDecide(e); ok {
+								decided = append(decided, got)
+								e.Decide(got)
+								return
+							}
+						}
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error { return nil },
+			Fingerprint: func(h *sched.FP) {
+				xs.Fingerprint(h)
+				var sum uint64
+				for _, v := range decided {
+					var t sched.FP
+					t.Value(v)
+					sum += sched.Mix(t.Sum().Lo)
+				}
+				h.Int(len(decided))
+				h.Word(sum)
+			},
+		}
+	}
+}
+
+// coverageOf explores a sessions-style factory wrapped so every checked run
+// records a canonical signature of its checker-observable outcomes, and
+// returns the signature set. outcomes shallower than the harness's own log
+// are reconstructed from the Result (values + statuses), sorted so the
+// signature is interleaving-insensitive.
+func coverageOf(t *testing.T, mk func() Session, cfg Config) map[string]bool {
+	t.Helper()
+	cover := make(map[string]bool)
+	s := mk()
+	inner := s.Check
+	s.Check = func(res *sched.Result) error {
+		if err := inner(res); err != nil {
+			return err
+		}
+		sig := make([]string, 0, len(res.Outcomes))
+		for _, o := range res.Outcomes {
+			sig = append(sig, fmt.Sprintf("%v/%v/%v", o.Status, o.Decided, o.Value))
+		}
+		sort.Strings(sig)
+		cover[strings.Join(sig, ";")] = true
+		return nil
+	}
+	st, err := ExploreSession(s, cfg)
+	if err != nil || !st.Exhausted {
+		t.Fatalf("cfg %+v: err=%v exhausted=%v", cfg, err, st.Exhausted)
+	}
+	return cover
+}
+
+// TestDedupAgreementCoverage is the regression for the in-flight-local-state
+// soundness hole: a commit-adopt proposer that has scanned phase 1 but not
+// yet written phase 2 holds its vote only in locals, so a fingerprint
+// without the per-process observation digests merged states with different
+// continuations and silently lost reachable outcomes. With Config.Dedup the
+// explorer must observe exactly the outcome sets of the plain tree walk on
+// the snapshot-based agreement harnesses, crashes included.
+func TestDedupAgreementCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Session
+		cfg  Config
+	}{
+		{"commitadopt/n=2/crashes=1", sessionCommitAdopt(2), Config{MaxCrashes: 1, MaxSteps: 64}},
+		{"commitadopt/n=3/crashes=1", sessionCommitAdopt(3), Config{MaxCrashes: 1, MaxSteps: 96}},
+		{"safe/n=2/crashes=1", sessionSafeAgreement(2, 2), Config{MaxCrashes: 1, MaxSteps: 128}},
+		{"xsafe/n=2/x=2/crashes=1", sessionXSafe(2, 2, 2), Config{MaxCrashes: 1, MaxSteps: 256}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if testing.Short() && strings.Contains(tc.name, "n=3") {
+				t.Skip("n=3 commit-adopt tree walk is the expensive half of this regression; run without -short")
+			}
+			want := coverageOf(t, tc.mk, tc.cfg)
+			on := tc.cfg
+			on.Dedup = true
+			got := coverageOf(t, tc.mk, on)
+			for k := range want {
+				if !got[k] {
+					t.Errorf("dedup lost outcome %s", k)
+				}
+			}
+			for k := range got {
+				if !want[k] {
+					t.Errorf("dedup invented outcome %s", k)
+				}
+			}
+			if t.Failed() {
+				t.Logf("outcome sets: %d without dedup, %d with", len(want), len(got))
+			}
+			// And with partial-order reduction composed on top.
+			pruned := tc.cfg
+			pruned.Prune = true
+			wantP := coverageOf(t, tc.mk, pruned)
+			pruned.Dedup = true
+			gotP := coverageOf(t, tc.mk, pruned)
+			for k := range wantP {
+				if !gotP[k] {
+					t.Errorf("prune+dedup lost outcome %s", k)
+				}
+			}
+		})
+	}
+}

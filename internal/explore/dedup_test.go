@@ -1,0 +1,409 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"mpcn/internal/reg"
+	"mpcn/internal/sched"
+)
+
+// --- store unit tests -------------------------------------------------------
+
+func TestDedupStoreVisit(t *testing.T) {
+	st := newDedupStore(1<<20, 4)
+	fp := func(i uint64) sched.Fingerprint {
+		var h sched.FP
+		h.Word(i)
+		return h.Sum()
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if st.visit(fp(i)) {
+			t.Fatalf("fresh fingerprint %d reported visited", i)
+		}
+	}
+	for i := uint64(0); i < 1000; i++ {
+		if !st.visit(fp(i)) {
+			t.Fatalf("resident fingerprint %d reported fresh", i)
+		}
+	}
+	d := st.snapshot()
+	if d.States != 1000 || d.Hits != 1000 || d.Lookups != 2000 || d.Occupied != 1000 {
+		t.Fatalf("stats inconsistent: %+v", d)
+	}
+	if d.Evictions != 0 {
+		t.Fatalf("unexpected evictions: %+v", d)
+	}
+	sum := int64(0)
+	occ := 0
+	for _, sh := range st.shardStats() {
+		sum += sh.Lookups
+		occ += sh.Occupied
+	}
+	if sum != d.Lookups || occ != d.Occupied {
+		t.Fatalf("per-shard stats do not add up to the aggregate")
+	}
+}
+
+func TestDedupStoreEviction(t *testing.T) {
+	// A store this tiny (one shard, minimum slots) must evict under load yet
+	// keep answering: memory stays bounded, recently-seen states stay hot.
+	st := newDedupStore(1, 1)
+	if cap := st.snapshot().Capacity; cap != dedupProbeWindow {
+		t.Fatalf("minimum capacity = %d, want %d", cap, dedupProbeWindow)
+	}
+	for i := uint64(0); i < 10000; i++ {
+		var h sched.FP
+		h.Word(i)
+		st.visit(h.Sum())
+	}
+	d := st.snapshot()
+	if d.Evictions == 0 {
+		t.Fatal("no evictions despite a full store")
+	}
+	if d.Occupied > d.Capacity {
+		t.Fatalf("occupancy %d exceeds capacity %d", d.Occupied, d.Capacity)
+	}
+}
+
+// --- exploration harnesses --------------------------------------------------
+
+// rmwSession is the read-modify-write convergence workload: n processes each
+// read the shared register and write back read+1 (a non-atomic increment).
+// Many interleavings converge on identical states — e.g. every order of the
+// initial reads — so it exercises dedup where partial-order reduction cannot
+// help (all operations conflict on the same register). The per-process read
+// values are the checker-visible log, folded positionally into the
+// fingerprint. faulty, when non-nil, turns the session into a seeded
+// violation: Check errors on the schedules faulty matches.
+func rmwSession(n int, faulty func(reads []int) error) func() Session {
+	return func() Session {
+		reads := make([]int, n)
+		var r *reg.Register[int]
+		return Session{
+			Make: func() []sched.Proc {
+				r = reg.New[int]("shared")
+				bodies := make([]sched.Proc, n)
+				for i := range bodies {
+					i := i
+					reads[i] = -1
+					bodies[i] = func(e *sched.Env) {
+						v := r.Read(e)
+						reads[i] = v
+						r.Write(e, v+1)
+						e.Decide(v)
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if faulty != nil {
+					return faulty(reads)
+				}
+				return nil
+			},
+			Fingerprint: func(h *sched.FP) {
+				r.Fingerprint(h)
+				for _, v := range reads {
+					h.Int(v)
+				}
+			},
+		}
+	}
+}
+
+// outcomeCollector wraps a session factory so every checked run records its
+// reads-vector; the resulting set is the observable final-state coverage.
+func rmwCoverage(n int, cover map[string]bool) func() Session {
+	base := rmwSession(n, nil)
+	return func() Session {
+		s := base()
+		inner := s.Check
+		return Session{
+			Make: s.Make,
+			Check: func(res *sched.Result) error {
+				if err := inner(res); err != nil {
+					return err
+				}
+				// Each process decides its read value, so the Result alone
+				// identifies the checker-observable final state.
+				var sb strings.Builder
+				for _, o := range res.Outcomes {
+					fmt.Fprintf(&sb, "%v/%v;", o.Decided, o.Value)
+				}
+				cover[sb.String()] = true
+				return nil
+			},
+			Fingerprint: s.Fingerprint,
+		}
+	}
+}
+
+// --- dedup behavior ---------------------------------------------------------
+
+// TestDedupReduction: dedup must cut the visited-run count of converging
+// workloads by at least 2x (the acceptance floor; the RMW diamond and
+// commit-adopt both far exceed it) with the exhaustion verdict intact.
+func TestDedupReduction(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func() Session
+		cfg  Config
+	}{
+		{"rmw/n=3", rmwSession(3, nil), Config{}},
+		{"rmw/n=3/crashes=1", rmwSession(3, nil), Config{MaxCrashes: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			off, err := ExploreSession(tc.mk(), tc.cfg)
+			if err != nil || !off.Exhausted {
+				t.Fatalf("baseline: %v (exhausted=%v)", err, off.Exhausted)
+			}
+			cfgOn := tc.cfg
+			cfgOn.Dedup = true
+			on, err := ExploreSession(tc.mk(), cfgOn)
+			if err != nil || !on.Exhausted {
+				t.Fatalf("dedup: %v (exhausted=%v)", err, on.Exhausted)
+			}
+			if on.Runs*2 > off.Runs {
+				t.Fatalf("reduction below 2x: %d runs with dedup vs %d without", on.Runs, off.Runs)
+			}
+			if on.Dedup.Hits == 0 || on.Dedup.States == 0 || on.Dedup.CutAlternatives == 0 {
+				t.Fatalf("dedup stats empty: %+v", on.Dedup)
+			}
+			if on.Dedup.Lookups != on.Dedup.Hits+on.Dedup.States {
+				t.Fatalf("lookup accounting broken: %+v", on.Dedup)
+			}
+			t.Logf("%s: %d -> %d runs (%.1fx), %s", tc.name, off.Runs, on.Runs,
+				float64(off.Runs)/float64(on.Runs), on.Dedup)
+		})
+	}
+}
+
+// TestDedupDeterministic: the sequential dedup explorer is a deterministic
+// function of the session and config.
+func TestDedupDeterministic(t *testing.T) {
+	run := func() Stats {
+		st, err := ExploreSession(rmwSession(3, nil)(), Config{Dedup: true, MaxCrashes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(), run()
+	if a.Runs != b.Runs || a.Dedup.Hits != b.Dedup.Hits || a.Dedup.States != b.Dedup.States {
+		t.Fatalf("sequential dedup not deterministic: %+v vs %+v", a.Dedup, b.Dedup)
+	}
+}
+
+// TestDedupStateCoverage: cutting converged subtrees must not lose reachable
+// final states. The set of checker-observable outcomes must be identical
+// across plain, dedup, prune, prune+dedup and respawn+dedup exploration.
+func TestDedupStateCoverage(t *testing.T) {
+	coverage := func(cfg Config) map[string]bool {
+		cover := make(map[string]bool)
+		st, err := ExploreSession(rmwCoverage(3, cover)(), cfg)
+		if err != nil || !st.Exhausted {
+			t.Fatalf("cfg %+v: %v (exhausted=%v)", cfg, err, st.Exhausted)
+		}
+		return cover
+	}
+	want := coverage(Config{MaxCrashes: 1})
+	if len(want) < 3 {
+		t.Fatalf("workload too shallow: only %d outcomes", len(want))
+	}
+	for _, cfg := range []Config{
+		{MaxCrashes: 1, Dedup: true},
+		{MaxCrashes: 1, Prune: true},
+		{MaxCrashes: 1, Prune: true, Dedup: true},
+		{MaxCrashes: 1, Dedup: true, Respawn: true},
+	} {
+		got := coverage(cfg)
+		if len(got) != len(want) {
+			t.Fatalf("cfg %+v: %d outcomes, want %d", cfg, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Fatalf("cfg %+v lost outcome %s", cfg, k)
+			}
+		}
+	}
+}
+
+// TestDedupIdenticalCounterexample: on a violating workload, dedup-on and
+// dedup-off must surface the SAME first counterexample, byte for byte — cuts
+// only remove subtrees whose behaviors were already checked earlier in DFS
+// order. Verified with and without partial-order reduction.
+func TestDedupIdenticalCounterexample(t *testing.T) {
+	lostUpdate := func(reads []int) error {
+		// Both processes read 0: the increment is lost.
+		if reads[0] == 0 && reads[1] == 0 {
+			return errors.New("lost update")
+		}
+		return nil
+	}
+	for _, prune := range []bool{false, true} {
+		script := func(dedup bool) string {
+			_, err := ExploreSession(rmwSession(2, lostUpdate)(), Config{Prune: prune, Dedup: dedup})
+			var pe *PropertyError
+			if !errors.As(err, &pe) {
+				t.Fatalf("prune=%v dedup=%v: expected a PropertyError, got %v", prune, dedup, err)
+			}
+			return strings.Join(pe.Script, "\n") + "\n#" + pe.Err.Error()
+		}
+		off, on := script(false), script(true)
+		if off != on {
+			t.Fatalf("prune=%v: counterexample diverged under dedup:\n--- off:\n%s\n--- on:\n%s", prune, off, on)
+		}
+	}
+}
+
+// TestDedupEvictionSound: a store squeezed to its minimum capacity evicts
+// constantly, yet exploration stays exhaustive and the final-state coverage
+// is unchanged — evictions cost reduction, never soundness.
+func TestDedupEvictionSound(t *testing.T) {
+	want := make(map[string]bool)
+	if _, err := ExploreSession(rmwCoverage(3, want)(), Config{MaxCrashes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]bool)
+	st, err := ExploreSession(rmwCoverage(3, got)(), Config{
+		MaxCrashes: 1, Dedup: true, DedupMem: 1, DedupShards: 1, // 16 slots total
+	})
+	if err != nil || !st.Exhausted {
+		t.Fatalf("%v (exhausted=%v)", err, st.Exhausted)
+	}
+	if st.Dedup.Evictions == 0 {
+		t.Fatalf("expected evictions from a 16-slot store: %+v", st.Dedup)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("coverage changed under eviction: %d vs %d outcomes", len(got), len(want))
+	}
+}
+
+// TestDedupParallelSharedStore: the workers of a parallel exploration share
+// one store; cut-offs compose across subtrees. Run counts are timing-
+// dependent but bounded by the tree walk, and the verdict must match.
+func TestDedupParallelSharedStore(t *testing.T) {
+	newSession := rmwSession(3, nil)
+	off, err := ExploreParallel(newSession, Config{MaxCrashes: 1, Workers: 4})
+	if err != nil || !off.Exhausted {
+		t.Fatalf("baseline: %v", err)
+	}
+	on, err := ExploreParallel(newSession, Config{MaxCrashes: 1, Workers: 4, Dedup: true})
+	if err != nil || !on.Exhausted {
+		t.Fatalf("dedup: %v (exhausted=%v)", err, on.Exhausted)
+	}
+	if on.Runs > off.Runs {
+		t.Fatalf("parallel dedup explored more runs (%d) than the tree walk (%d)", on.Runs, off.Runs)
+	}
+	if on.Dedup.Hits == 0 {
+		t.Fatalf("no cuts recorded: %+v", on.Dedup)
+	}
+}
+
+// TestDedupParallelFindsViolation: a seeded violation must still surface
+// under parallel dedup (some counterexample; which one is timing-dependent).
+func TestDedupParallelFindsViolation(t *testing.T) {
+	lost := func(reads []int) error {
+		if reads[0] == 0 && reads[1] == 0 {
+			return errors.New("lost update")
+		}
+		return nil
+	}
+	_, err := ExploreParallel(rmwSession(2, lost), Config{Workers: 4, Dedup: true})
+	var pe *PropertyError
+	if !errors.As(err, &pe) {
+		t.Fatalf("expected a PropertyError, got %v", err)
+	}
+}
+
+// TestDedupRequiresFingerprint: Dedup without a Session.Fingerprint must be
+// rejected by both engines.
+func TestDedupRequiresFingerprint(t *testing.T) {
+	bare := func() Session {
+		s := rmwSession(2, nil)()
+		s.Fingerprint = nil
+		return s
+	}
+	if _, err := ExploreSession(bare(), Config{Dedup: true}); !errors.Is(err, ErrNoFingerprint) {
+		t.Fatalf("sequential: got %v, want ErrNoFingerprint", err)
+	}
+	if _, err := ExploreParallel(bare, Config{Dedup: true}); !errors.Is(err, ErrNoFingerprint) {
+		t.Fatalf("parallel: got %v, want ErrNoFingerprint", err)
+	}
+	// And the legacy Explore entry point (no way to pass a Fingerprint).
+	s := rmwSession(2, nil)()
+	if _, err := Explore(s.Make, s.Check, Config{Dedup: true}); !errors.Is(err, ErrNoFingerprint) {
+		t.Fatalf("Explore: got %v, want ErrNoFingerprint", err)
+	}
+}
+
+// TestDedupRespawnMatchesSession: the respawning baseline and the
+// session-reuse engine walk identical dedup-cut trees (the store interaction
+// is a function of the decision sequence, not the runtime).
+func TestDedupRespawnMatchesSession(t *testing.T) {
+	run := func(respawn bool) Stats {
+		st, err := ExploreSession(rmwSession(3, nil)(), Config{MaxCrashes: 1, Dedup: true, Respawn: respawn})
+		if err != nil || !st.Exhausted {
+			t.Fatalf("respawn=%v: %v", respawn, err)
+		}
+		return st
+	}
+	s, r := run(false), run(true)
+	if s.Runs != r.Runs || s.Dedup.Hits != r.Dedup.Hits || s.Dedup.States != r.Dedup.States ||
+		s.Dedup.CutAlternatives != r.Dedup.CutAlternatives {
+		t.Fatalf("session/respawn dedup divergence: %+v vs %+v", s.Dedup, r.Dedup)
+	}
+}
+
+// TestDedupPruneComposition: with both reductions on, the explorer still
+// exhausts, cuts strictly more than prune alone, and — because the
+// fingerprint folds the partial-order context — stays deterministic.
+func TestDedupPruneComposition(t *testing.T) {
+	base := Config{MaxCrashes: 1, Prune: true}
+	pruneOnly, err := ExploreSession(rmwSession(3, nil)(), base)
+	if err != nil || !pruneOnly.Exhausted {
+		t.Fatalf("prune: %v", err)
+	}
+	both := base
+	both.Dedup = true
+	onA, err := ExploreSession(rmwSession(3, nil)(), both)
+	if err != nil || !onA.Exhausted {
+		t.Fatalf("prune+dedup: %v", err)
+	}
+	onB, err := ExploreSession(rmwSession(3, nil)(), both)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onA.Runs != onB.Runs || onA.Pruned != onB.Pruned || onA.Dedup.Hits != onB.Dedup.Hits {
+		t.Fatal("prune+dedup not deterministic")
+	}
+	if onA.Runs >= pruneOnly.Runs {
+		t.Fatalf("dedup on top of prune did not reduce: %d vs %d", onA.Runs, pruneOnly.Runs)
+	}
+	t.Logf("plain prune: %d runs; prune+dedup: %d runs", pruneOnly.Runs, onA.Runs)
+}
+
+// TestDedupStatsOrdering sanity-checks the diagnostic shard surface.
+func TestDedupShardStatsSurface(t *testing.T) {
+	st := newDedupStore(1<<16, 8)
+	for i := uint64(0); i < 100; i++ {
+		var h sched.FP
+		h.Word(i)
+		st.visit(h.Sum())
+	}
+	shards := st.shardStats()
+	if len(shards) != 8 {
+		t.Fatalf("want 8 shards, got %d", len(shards))
+	}
+	idx := make([]int, 0, len(shards))
+	for _, s := range shards {
+		idx = append(idx, s.Shard)
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Fatal("shard stats out of order")
+	}
+}

@@ -9,7 +9,7 @@
 // for bounded configurations: e.g. safe_agreement's safety holds on *every*
 // schedule of 2 proposers with at most one crash, not just the sampled ones.
 //
-// Two scaling mechanisms keep larger configurations tractable:
+// Three scaling mechanisms keep larger configurations tractable:
 //
 //   - ExploreParallel shards the decision tree across a worker pool. A
 //     breadth-first pass enumerates a frontier of disjoint prefixes, and each
@@ -23,6 +23,14 @@
 //     style reduction keyed on the step labels' object names), and adjacent
 //     crash placements — which always commute — are likewise canonicalized.
 //     See reduce.go for the soundness conditions.
+//
+//   - Config.Dedup enables state-fingerprint deduplication: distinct decision
+//     prefixes that converge on the same canonical state (shared objects +
+//     harness logs + per-process control points) are recognized through a
+//     bounded, sharded visited-state store, and the converged subtree is cut,
+//     turning the decision tree into graph exploration. Requires a
+//     Session.Fingerprint; see dedup.go for the store and the soundness
+//     argument, and docs/ARCHITECTURE.md for the checker contract.
 //
 // Keep configurations tiny — the tree grows as (runnable + crashes)^steps.
 package explore
@@ -64,6 +72,21 @@ type Config struct {
 	// nil selects LabelsIndependent. Predicates must be symmetric and
 	// deterministic.
 	Independent func(a, b sched.Label) bool
+	// Dedup enables state-fingerprint deduplication: at every new decision
+	// node the canonical state fingerprint is looked up in a shared
+	// visited-state store, and the subtree below an already-visited state is
+	// cut. Requires the explored Session to carry a Fingerprint; explorations
+	// without one fail with ErrNoFingerprint. With Dedup, the visited-run
+	// count of ExploreParallel depends on worker timing (cuts compose across
+	// workers); the sequential explorer stays deterministic.
+	Dedup bool
+	// DedupMem bounds the visited-state store's memory in bytes (0 =
+	// DefaultDedupMem). When the store fills, the eviction policy drops old
+	// states — which costs reduction, never soundness.
+	DedupMem int
+	// DedupShards is the store's lock-stripe count, rounded up to a power of
+	// two (0 = DefaultDedupShards).
+	DedupShards int
 	// Respawn disables the session-reuse runtime and replays every run the
 	// way the explorer worked before the Session refactor: a freshly spawned
 	// scheduler per run over the strict rendezvous handoff, with a freshly
@@ -128,6 +151,9 @@ type Stats struct {
 	// explorations the frontier pass resolved on its own (tiny trees, a run
 	// budget that ran dry, or an early violation) — no worker ever ran.
 	Workers []WorkerStats
+	// Dedup holds the visited-state store's counters (zero unless
+	// Config.Dedup was set).
+	Dedup DedupStats
 }
 
 // RunsPerSec is the overall replay throughput.
@@ -181,6 +207,18 @@ type scripted struct {
 	prunedAt  []int
 	choices   []choice
 
+	// State-dedup fields (nil store = dedup off). Decisions at depths below
+	// len(prefix) re-traverse nodes fingerprinted by an earlier replay and
+	// skip the store; only NEW nodes (the suffix) are looked up and inserted
+	// (that structural ownership rule is what makes cuts sound; see
+	// dedup.go). cutAt is the depth of this replay's dedup cut (-1 = none):
+	// from there on the run collapses to its leftmost remaining alternatives
+	// and the store is neither consulted nor extended.
+	store   *dedupStore
+	fpFn    func(h *sched.FP)
+	cutAt   int
+	cutAlts int
+
 	// allocEachNext restores the pre-Session behavior of allocating the
 	// alternative slices on every decision (the Respawn baseline); the
 	// default reuses altsBuf/keptBuf across decisions and runs.
@@ -198,6 +236,7 @@ func newScripted(prefix []int, cfg Config) *scripted {
 		prune:         cfg.Prune,
 		indep:         cfg.Independent,
 		allocEachNext: cfg.Respawn,
+		cutAt:         -1,
 	}
 }
 
@@ -209,6 +248,51 @@ func (s *scripted) reset(prefix []int) {
 	s.altCounts = s.altCounts[:0]
 	s.prunedAt = s.prunedAt[:0]
 	s.choices = s.choices[:0]
+	s.cutAt = -1
+	s.cutAlts = 0
+}
+
+// setDedup arms (or disarms, store == nil) state deduplication for the next
+// replay. Only the replay's new tree nodes — depths >= len(prefix) — are
+// fingerprinted.
+func (s *scripted) setDedup(store *dedupStore, fpFn func(h *sched.FP)) {
+	s.store = store
+	s.fpFn = fpFn
+}
+
+// fingerprint digests the canonical state at the current decision boundary:
+// each process's control point (pending label, crashed flag, step count —
+// the step counts depth-stamp the state, keeping the state graph acyclic and
+// the remaining MaxSteps budget equal for equal fingerprints) and
+// observation digest (every value the process read from shared state —
+// sched.Observe — which pins its in-flight local state: locals are
+// deterministic functions of code position and observations), the previous
+// decision when pruning (two nodes only merge when their partial-order
+// filters coincide, so a cut subtree is exactly the reduced subtree the
+// first visit expanded), and everything the harness registered (shared
+// objects + checker-visible logs).
+func (s *scripted) fingerprint(v sched.View) sched.Fingerprint {
+	var h sched.FP
+	for i := range v.Pending {
+		h.Label(v.Pending[i])
+		h.Bool(v.Crashed[i])
+		h.Int(v.StepsOf[i])
+		obs := v.Obs[i].Sum()
+		h.Word(obs.Lo)
+		h.Word(obs.Hi)
+	}
+	if s.prune {
+		if n := len(s.choices); n > 0 {
+			prev := s.choices[n-1]
+			h.Int(int(prev.kind))
+			h.Int(int(prev.id))
+			h.Label(prev.label)
+		} else {
+			h.Int(0)
+		}
+	}
+	s.fpFn(&h)
+	return h.Sum()
 }
 
 // alternatives enumerates the decision alternatives at the current node:
@@ -263,6 +347,21 @@ func (s *scripted) alternatives(v sched.View) []choice {
 // Next implements sched.Adversary.
 func (s *scripted) Next(v sched.View) sched.Decision {
 	alts := s.alternatives(v)
+	if s.store != nil {
+		if d := len(s.taken); s.cutAt < 0 && d >= len(s.prefix) && s.store.visit(s.fingerprint(v)) {
+			s.cutAt = d
+		}
+		if s.cutAt >= 0 {
+			// Converged state: every continuation below it was (or is being)
+			// explored from the state's first visit, so the subtree collapses
+			// to the single leftmost remaining path. The run still completes
+			// (the runtime needs the leaf) and the leaf it reaches duplicates
+			// the first visit's leftmost leaf, so checking it is redundant
+			// but safe.
+			s.cutAlts += len(alts) - 1
+			alts = alts[:1]
+		}
+	}
 	idx := 0
 	if d := len(s.taken); d < len(s.prefix) {
 		idx = s.prefix[d]
@@ -314,6 +413,24 @@ type Session struct {
 	// exploration with a PropertyError. Under Config.Prune, Check must not
 	// distinguish runs that differ only in the order of commuting steps.
 	Check func(*sched.Result) error
+	// Fingerprint folds the current run's canonical state into h, called at
+	// decision boundaries when Config.Dedup is set (required then; see
+	// ErrNoFingerprint). The digest must determine the run's future: it must
+	// cover every shared object the bodies touch (the reg, snapshot, object
+	// and agreement types all implement sched.Fingerprinter) and every
+	// harness log Check reads — if two run states fold identical words,
+	// their continuations and Check verdicts must be identical. The walker
+	// covers the rest: per-process control points (pending label, crashed
+	// flag, step count), per-process observation digests (sched.Observe —
+	// which pin in-flight local state such as a scanned-but-unwritten view,
+	// provided every shared object the bodies use reports its reads via
+	// Observe, as all of this repository's objects do), and Result.Steps,
+	// Crashes and BudgetExhausted. Decided values, statuses and anything
+	// else Check consumes must be covered here (fold your result log).
+	// Checkers must not read Result.Trace or Outcome.LastLabel under Dedup,
+	// and — as under Prune — must treat logs as multisets when the log fold
+	// is commutative.
+	Fingerprint func(h *sched.FP)
 }
 
 // runBudget is the shared MaxRuns ticket counter: every complete run takes a
@@ -340,12 +457,14 @@ type subtreeStats struct {
 	runs     int
 	maxDepth int
 	pruned   int
+	cutAlts  int  // alternatives dropped inside dedup-cut subtrees
 	aborted  bool // the run budget ran dry mid-subtree
 }
 
 func (a *subtreeStats) fold(b subtreeStats) {
 	a.runs += b.runs
 	a.pruned += b.pruned
+	a.cutAlts += b.cutAlts
 	if b.maxDepth > a.maxDepth {
 		a.maxDepth = b.maxDepth
 	}
@@ -361,6 +480,7 @@ type walker struct {
 	session Session
 	budget  *runBudget
 	stop    <-chan struct{} // nil for sequential exploration
+	store   *dedupStore     // shared visited-state store; nil = dedup off
 
 	rt  *sched.Session // lazily sized to the harness's process count
 	adv *scripted
@@ -386,8 +506,11 @@ func (w *walker) close() {
 	}
 }
 
-// replay executes one run with the given decision prefix. The returned
-// Result is owned by the walker's runtime and valid until the next replay.
+// replay executes one run with the given decision prefix. Under dedup, only
+// the replay's new tree nodes — depths >= len(prefix) — touch the visited
+// store; shallower decisions re-traverse nodes an earlier replay already
+// fingerprinted. The returned Result is owned by the walker's runtime and
+// valid until the next replay.
 func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 	bodies := w.session.Make()
 	var adv *scripted
@@ -397,10 +520,11 @@ func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 		// Baseline mode: fresh adversary, fresh rendezvous-protocol runtime,
 		// exactly as the explorer worked before the session-reuse refactor.
 		adv = newScripted(prefix, w.cfg)
+		adv.setDedup(w.store, w.session.Fingerprint)
 		var rt *sched.Session
 		rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Rendezvous: true})
 		if err == nil {
-			res, err = rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, bodies)
+			res, err = rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps, Observe: w.store != nil}, bodies)
 			rt.Close()
 		}
 	} else {
@@ -409,12 +533,13 @@ func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 		}
 		adv = w.adv
 		adv.reset(prefix)
+		adv.setDedup(w.store, w.session.Fingerprint)
 		if w.rt == nil || w.rt.N() != len(bodies) {
 			w.close()
 			w.rt, err = sched.NewSession(len(bodies))
 		}
 		if err == nil {
-			res, err = w.rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps}, bodies)
+			res, err = w.rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps, Observe: w.store != nil}, bodies)
 		}
 	}
 	if err != nil {
@@ -444,6 +569,7 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 			return st, err
 		}
 		st.runs++
+		st.cutAlts += adv.cutAlts
 		if d := len(adv.taken); d > st.maxDepth {
 			st.maxDepth = d
 		}
@@ -469,16 +595,36 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 	}
 }
 
+// ErrNoFingerprint is returned when Config.Dedup is set but the explored
+// Session carries no Fingerprint: without one, state deduplication could
+// silently merge states the checker distinguishes.
+var ErrNoFingerprint = errors.New("explore: Config.Dedup needs a Session.Fingerprint")
+
 // Explore enumerates the decision tree of the processes returned by mk
 // (fresh shared state per run) and applies check to every complete run. It
-// stops at the first property violation.
+// stops at the first property violation. Sessions carrying a Fingerprint
+// (required for Config.Dedup) go through ExploreSession instead.
 func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config) (Stats, error) {
+	return ExploreSession(Session{Make: mk, Check: check}, cfg)
+}
+
+// ExploreSession is Explore over a prebuilt Session, the entry point for
+// harnesses that carry a Fingerprint for Config.Dedup.
+func ExploreSession(s Session, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	var store *dedupStore
+	if cfg.Dedup {
+		if s.Fingerprint == nil {
+			return Stats{}, ErrNoFingerprint
+		}
+		store = newDedupStore(cfg.DedupMem, cfg.DedupShards)
+	}
 	w := &walker{
 		cfg:     cfg,
-		session: Session{Make: mk, Check: check},
+		session: s,
 		budget:  newRunBudget(cfg.MaxRuns),
+		store:   store,
 	}
 	defer w.close()
 	st, err := w.explore(nil)
@@ -488,7 +634,9 @@ func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config
 		Pruned:    st.pruned,
 		Exhausted: err == nil && !st.aborted,
 		Elapsed:   time.Since(start),
+		Dedup:     store.snapshot(),
 	}
+	stats.Dedup.CutAlternatives = st.cutAlts
 	return stats, err
 }
 

@@ -26,11 +26,13 @@ const (
 // across cfg.Workers workers (<= 0 selects DefaultWorkers). newSession is
 // called once per worker plus once for the frontier probe; every returned
 // Session must own INDEPENDENT run state, because workers replay runs
-// concurrently. The visited run count, pruned-branch count and exhaustion
-// verdict are identical to the sequential explorer's; only the wall clock
-// (and, on property violations, which counterexample surfaces first)
-// differs. A checker panic in any worker is re-raised on the caller's
-// goroutine.
+// concurrently. Without Config.Dedup the visited run count, pruned-branch
+// count and exhaustion verdict are identical to the sequential explorer's;
+// only the wall clock (and, on property violations, which counterexample
+// surfaces first) differs. With Dedup the workers share one visited-state
+// store, so cut-offs compose pool-wide and the run count is
+// timing-dependent (bounded by the tree walk's; the verdict still matches).
+// A checker panic in any worker is re-raised on the caller's goroutine.
 func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	if newSession == nil {
 		panic("explore: ExploreParallel needs a session factory")
@@ -39,9 +41,23 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	start := time.Now()
 	budget := newRunBudget(cfg.MaxRuns)
 
+	// The visited-state store is shared by every worker, so a state first
+	// visited in one subtree cuts converged branches pool-wide. The frontier
+	// probe runs WITHOUT the store: its replays traverse nodes whose subtrees
+	// are handed to workers wholesale, and fingerprinting them here would
+	// claim ownership of states the probe never expands (see dedup.go).
+	var store *dedupStore
+	probeSession := newSession()
+	if cfg.Dedup {
+		if probeSession.Fingerprint == nil {
+			return Stats{}, ErrNoFingerprint
+		}
+		store = newDedupStore(cfg.DedupMem, cfg.DedupShards)
+	}
+
 	// Phase 1: enumerate a frontier of disjoint subtree prefixes, counting
 	// (and checking) any complete runs shallower than the frontier.
-	probe := &walker{cfg: cfg, session: newSession(), budget: budget}
+	probe := &walker{cfg: cfg, session: probeSession, budget: budget}
 	defer probe.close()
 	frontier, base, err := buildFrontier(probe, cfg.Workers*frontierPerWorker)
 	if err != nil || base.aborted || len(frontier) == 0 {
@@ -67,6 +83,7 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	type workerOut struct {
 		ws       WorkerStats
 		maxDepth int
+		cutAlts  int
 		aborted  bool
 		err      error
 		panicked any
@@ -92,12 +109,13 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 					halt()
 				}
 			}()
-			w := &walker{cfg: cfg, session: sessions[k], budget: budget, stop: stop}
+			w := &walker{cfg: cfg, session: sessions[k], budget: budget, stop: stop, store: store}
 			defer w.close()
 			for prefix := range work {
 				st, err := w.explore(prefix)
 				out.ws.Runs += st.runs
 				out.ws.Pruned += st.pruned
+				out.cutAlts += st.cutAlts
 				if st.maxDepth > out.maxDepth {
 					out.maxDepth = st.maxDepth
 				}
@@ -130,7 +148,7 @@ feed:
 	workers := make([]WorkerStats, 0, nw)
 	for k := range outs {
 		o := &outs[k]
-		st.fold(subtreeStats{runs: o.ws.Runs, maxDepth: o.maxDepth, pruned: o.ws.Pruned, aborted: o.aborted})
+		st.fold(subtreeStats{runs: o.ws.Runs, maxDepth: o.maxDepth, pruned: o.ws.Pruned, cutAlts: o.cutAlts, aborted: o.aborted})
 		workers = append(workers, o.ws)
 		if o.err != nil && firstErr == nil {
 			firstErr = o.err
@@ -146,7 +164,9 @@ feed:
 		Exhausted: firstErr == nil && !st.aborted,
 		Elapsed:   time.Since(start),
 		Workers:   workers,
+		Dedup:     store.snapshot(),
 	}
+	stats.Dedup.CutAlternatives = st.cutAlts
 	return stats, firstErr
 }
 

@@ -29,10 +29,11 @@ import (
 func SafeAgreement(n, probes int, starved *atomic.Int64) func() explore.Session {
 	return func() explore.Session {
 		var decided []any
+		var sa *agreement.SafeAgreement
 		return explore.Session{
 			Make: func() []sched.Proc {
 				decided = decided[:0]
-				sa := agreement.NewSafeAgreement("sa", n)
+				sa = agreement.NewSafeAgreement("sa", n)
 				bodies := make([]sched.Proc, n)
 				for i := range bodies {
 					v := 100 + i
@@ -55,6 +56,10 @@ func SafeAgreement(n, probes int, starved *atomic.Int64) func() explore.Session 
 				}
 				return checkAgreement(decided, n)
 			},
+			Fingerprint: func(h *sched.FP) {
+				sa.Fingerprint(h)
+				foldValues(h, decided)
+			},
 		}
 	}
 }
@@ -63,10 +68,11 @@ func SafeAgreement(n, probes int, starved *atomic.Int64) func() explore.Session 
 func XSafe(n, x, probes int) func() explore.Session {
 	return func() explore.Session {
 		var decided []any
+		var xs *agreement.XSafeAgreement
 		return explore.Session{
 			Make: func() []sched.Proc {
 				decided = decided[:0]
-				xs := agreement.NewXSafeFactory(n, x, nil).New("xsa")
+				xs = agreement.NewXSafeFactory(n, x, nil).New("xsa")
 				bodies := make([]sched.Proc, n)
 				for i := range bodies {
 					v := 100 + i
@@ -85,6 +91,10 @@ func XSafe(n, x, probes int) func() explore.Session {
 			},
 			Check: func(res *sched.Result) error {
 				return checkAgreement(decided, n)
+			},
+			Fingerprint: func(h *sched.FP) {
+				xs.Fingerprint(h)
+				foldValues(h, decided)
 			},
 		}
 	}
@@ -143,13 +153,22 @@ func CommitAdopt(n int) func() explore.Session {
 				}
 				return nil
 			},
+			Fingerprint: func(h *sched.FP) {
+				ca.Fingerprint(h)
+				foldMultiset(h, len(outs), func(i int, t *sched.FP) {
+					t.Value(outs[i].v)
+					t.Bool(outs[i].committed)
+				})
+			},
 		}
 	}
 }
 
 // BG explores the classic Borowsky-Gafni simulation: the t-resilient
 // (t+1)-set algorithm for n simulated processes on t+1 simulators. The
-// returned factory errors if the configuration is invalid. Wedged runs
+// returned factory errors if the configuration is invalid. BG sessions
+// carry no Fingerprint (the engine's internal state is not fingerprintable
+// yet), so explore.Config.Dedup is rejected for them. Wedged runs
 // (crash inside a safe_agreement propose) are the expected blocking
 // behaviour, not violations; the checker enforces validity and the
 // (t+1)-set bound on whatever decisions appear.
@@ -217,11 +236,13 @@ func BG(n, t int) (func() explore.Session, error) {
 // fixed workload of the explorer benchmarks.
 func Registers(n, writes int) func() explore.Session {
 	return func() explore.Session {
+		regs := make([]*reg.Register[int], n)
 		return explore.Session{
 			Make: func() []sched.Proc {
 				bodies := make([]sched.Proc, n)
 				for i := range bodies {
 					r := reg.New[int](fmt.Sprintf("r%d", i))
+					regs[i] = r
 					bodies[i] = func(e *sched.Env) {
 						for j := 1; j <= writes; j++ {
 							r.Write(e, j)
@@ -237,8 +258,33 @@ func Registers(n, writes int) func() explore.Session {
 				}
 				return nil
 			},
+			Fingerprint: func(h *sched.FP) {
+				for _, r := range regs {
+					r.Fingerprint(h)
+				}
+			},
 		}
 	}
+}
+
+// foldMultiset folds n log entries as a multiset: per-entry digests are
+// combined commutatively, so two runs whose logs hold the same entries in
+// different completion orders fingerprint identically. Sound because every
+// checker here treats its log as a set (required under Prune anyway).
+func foldMultiset(h *sched.FP, n int, fold func(i int, t *sched.FP)) {
+	var sum uint64
+	for i := 0; i < n; i++ {
+		var t sched.FP
+		fold(i, &t)
+		sum += sched.Mix(t.Sum().Lo)
+	}
+	h.Int(n)
+	h.Word(sum)
+}
+
+// foldValues is foldMultiset over a plain decision-value log.
+func foldValues(h *sched.FP, vs []any) {
+	foldMultiset(h, len(vs), func(i int, t *sched.FP) { t.Value(vs[i]) })
 }
 
 func checkAgreement(decided []any, n int) error {

@@ -57,14 +57,19 @@ func NewTestAndSet(name string) *TestAndSet {
 	return &TestAndSet{name: name, tasL: sched.Intern(name + ".test&set")}
 }
 
+// Fingerprint implements sched.Fingerprinter.
+func (t *TestAndSet) Fingerprint(h *sched.FP) {
+	h.Label(t.tasL)
+	h.Bool(t.set)
+}
+
 // TestAndSet atomically sets the object and reports whether the caller won.
 func (t *TestAndSet) TestAndSet(e *sched.Env) bool {
 	e.StepL(t.tasL)
-	if t.set {
-		return false
-	}
+	won := !t.set
 	t.set = true
-	return true
+	sched.Observe(e, won)
+	return won
 }
 
 // Queue is an atomic FIFO queue (consensus number 2).
@@ -93,15 +98,28 @@ func (q *Queue[T]) Enqueue(e *sched.Env, v T) {
 	q.items = append(q.items, v)
 }
 
+// Fingerprint implements sched.Fingerprinter: identity plus the queued items
+// front to back.
+func (q *Queue[T]) Fingerprint(h *sched.FP) {
+	h.Label(q.enqueueL)
+	h.Int(len(q.items))
+	for i := range q.items {
+		h.Value(q.items[i])
+	}
+}
+
 // Dequeue atomically removes and returns the front item; ok is false when
 // the queue is empty.
 func (q *Queue[T]) Dequeue(e *sched.Env) (v T, ok bool) {
 	e.StepL(q.dequeueL)
 	if len(q.items) == 0 {
+		sched.Observe(e, false)
 		return v, false
 	}
 	v = q.items[0]
 	q.items = q.items[1:]
+	sched.Observe(e, true)
+	sched.Observe(e, v)
 	return v, true
 }
 
@@ -131,15 +149,28 @@ func (s *Stack[T]) Push(e *sched.Env, v T) {
 	s.items = append(s.items, v)
 }
 
+// Fingerprint implements sched.Fingerprinter: identity plus the stacked
+// items bottom to top.
+func (s *Stack[T]) Fingerprint(h *sched.FP) {
+	h.Label(s.pushL)
+	h.Int(len(s.items))
+	for i := range s.items {
+		h.Value(s.items[i])
+	}
+}
+
 // Pop atomically removes and returns the top item; ok is false when the
 // stack is empty.
 func (s *Stack[T]) Pop(e *sched.Env) (v T, ok bool) {
 	e.StepL(s.popL)
 	if len(s.items) == 0 {
+		sched.Observe(e, false)
 		return v, false
 	}
 	v = s.items[len(s.items)-1]
 	s.items = s.items[:len(s.items)-1]
+	sched.Observe(e, true)
+	sched.Observe(e, v)
 	return v, true
 }
 
@@ -164,16 +195,25 @@ func NewCompareAndSwap[T comparable](name string, init T) *CompareAndSwap[T] {
 // Read atomically reads the register.
 func (c *CompareAndSwap[T]) Read(e *sched.Env) T {
 	e.StepL(c.readL)
+	sched.Observe(e, c.v)
 	return c.v
+}
+
+// Fingerprint implements sched.Fingerprinter.
+func (c *CompareAndSwap[T]) Fingerprint(h *sched.FP) {
+	h.Label(c.casL)
+	h.Value(c.v)
 }
 
 // CompareAndSwap atomically replaces old with new and reports success.
 func (c *CompareAndSwap[T]) CompareAndSwap(e *sched.Env, old, new T) bool {
 	e.StepL(c.casL)
 	if c.v != old {
+		sched.Observe(e, false)
 		return false
 	}
 	c.v = new
+	sched.Observe(e, true)
 	return true
 }
 
@@ -209,6 +249,15 @@ func NewXConsensus(name string, x int, portIDs []sched.ProcID) *XConsensus {
 // X returns the object's consensus number (its port capacity).
 func (c *XConsensus) X() int { return c.x }
 
+// Fingerprint implements sched.Fingerprinter: identity, decision state and
+// the (unordered) set of ports that already proposed.
+func (c *XConsensus) Fingerprint(h *sched.FP) {
+	h.Label(c.propL)
+	h.Bool(c.decided)
+	h.Value(c.value)
+	h.ProcSet(c.proposed)
+}
+
 // Propose proposes v and returns the object's decided value. It panics when
 // called from a non-port process or twice from the same process: both are
 // violations of the model's static-port, one-shot discipline.
@@ -228,6 +277,7 @@ func (c *XConsensus) Propose(e *sched.Env, v any) any {
 		c.decided = true
 		c.value = v
 	}
+	sched.Observe(e, c.value)
 	return c.value
 }
 
@@ -257,6 +307,18 @@ func NewMLSetAgreement(name string, m, l int, portIDs []sched.ProcID) *MLSetAgre
 	}
 }
 
+// Fingerprint implements sched.Fingerprinter: identity, the decided values
+// in decision order (later proposers are served by index into this list, so
+// the order is semantically relevant) and the set of proposers seen.
+func (o *MLSetAgreement) Fingerprint(h *sched.FP) {
+	h.Label(o.propL)
+	h.Int(len(o.decided))
+	for _, v := range o.decided {
+		h.Value(v)
+	}
+	h.ProcSet(o.seen)
+}
+
 // Propose proposes v and returns one of at most ℓ decided values. The object
 // adversarially maximizes disagreement: it keeps admitting new distinct
 // values until ℓ are decided.
@@ -272,11 +334,15 @@ func (o *MLSetAgreement) Propose(e *sched.Env, v any) any {
 			o.ports.name, len(o.seen), o.m))
 	}
 	e.StepL(o.propL)
+	var out any
 	if len(o.decided) < o.l {
 		o.decided = append(o.decided, v)
-		return v
+		out = v
+	} else {
+		// Spread returned values across the decided set to keep disagreement
+		// maximal while staying deterministic.
+		out = o.decided[len(o.seen)%len(o.decided)]
 	}
-	// Spread returned values across the decided set to keep disagreement
-	// maximal while staying deterministic.
-	return o.decided[len(o.seen)%len(o.decided)]
+	sched.Observe(e, out)
+	return out
 }

@@ -42,6 +42,7 @@ func NewWith[T any](name string, init T) *Register[T] {
 // Read atomically reads the register.
 func (r *Register[T]) Read(e *sched.Env) T {
 	e.StepL(r.readL)
+	sched.Observe(e, r.v)
 	return r.v
 }
 
@@ -49,6 +50,13 @@ func (r *Register[T]) Read(e *sched.Env) T {
 func (r *Register[T]) Write(e *sched.Env, v T) {
 	e.StepL(r.writeL)
 	r.v = v
+}
+
+// Fingerprint implements sched.Fingerprinter: it folds the register's
+// identity (its interned write label) and current value.
+func (r *Register[T]) Fingerprint(h *sched.FP) {
+	h.Label(r.writeL)
+	h.Value(r.v)
 }
 
 // Array is an array of atomic registers sharing a common name prefix. Cell i
@@ -88,6 +96,7 @@ func (a *Array[T]) Len() int { return len(a.cells) }
 // Read atomically reads cell i.
 func (a *Array[T]) Read(e *sched.Env, i int) T {
 	e.StepL(a.readL[i])
+	sched.Observe(e, a.cells[i])
 	return a.cells[i]
 }
 
@@ -95,6 +104,15 @@ func (a *Array[T]) Read(e *sched.Env, i int) T {
 func (a *Array[T]) Write(e *sched.Env, i int, v T) {
 	e.StepL(a.writeL[i])
 	a.cells[i] = v
+}
+
+// Fingerprint implements sched.Fingerprinter: it folds the array's identity
+// and every cell value in index order.
+func (a *Array[T]) Fingerprint(h *sched.FP) {
+	h.Label(a.writeL[0])
+	for i := range a.cells {
+		h.Value(a.cells[i])
+	}
 }
 
 // Collect reads every cell in index order (one step per cell, i.e. a

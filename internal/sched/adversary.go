@@ -26,6 +26,12 @@ type View struct {
 	Crashed []bool
 	// StepsOf[i] is the number of steps process i has executed.
 	StepsOf []int
+	// Obs[i] is process i's observation digest — a running FP of every value
+	// shared objects returned to it from shared state (see sched.Observe).
+	// nil unless Config.Observe is set. Together with Pending/Crashed/StepsOf
+	// it determines each process's local state, which is what makes replay
+	// engines' state fingerprints (explore.Config.Dedup) complete.
+	Obs []FP
 }
 
 // Decision is an adversary's choice for one scheduling round: the processes

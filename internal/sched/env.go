@@ -82,13 +82,17 @@ func (e *Env) Decision() any { return e.decision }
 // property. Queries are local (no scheduler step); algorithms must still
 // take steps in their waiting loops.
 func (e *Env) Leader() ProcID {
+	leader := e.id // fallback: everyone else crashed or returned
 	for i, crashed := range e.s.crashed {
 		if !crashed && e.s.state[i] != stateDone {
-			return ProcID(i)
+			leader = ProcID(i)
+			break
 		}
 	}
-	// Only the caller is left running (everyone else crashed or returned).
-	return e.id
+	// The oracle reads global crash state: record the observation so replay
+	// engines' fingerprints capture what this process may have branched on.
+	Observe(e, int(leader))
+	return leader
 }
 
 // LeaderSet is an Ωx failure-detector oracle (§1.3: Ωx outputs at each
@@ -119,5 +123,9 @@ func (e *Env) LeaderSet(x int) []ProcID {
 func (e *Env) StepCount() int { return e.s.stepsOf[e.id] }
 
 // TotalSteps returns the number of steps scheduled so far across all
-// processes.
-func (e *Env) TotalSteps() int { return e.s.steps }
+// processes. Like the oracles it reads global state, so it records an
+// observation (see sched.Observe).
+func (e *Env) TotalSteps() int {
+	Observe(e, e.s.steps)
+	return e.s.steps
+}

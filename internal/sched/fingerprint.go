@@ -1,0 +1,210 @@
+package sched
+
+import "fmt"
+
+// Fingerprint is a 128-bit canonical digest of a run state, computed at a
+// decision boundary (every process parked or finished, no step in flight).
+// Replay engines use fingerprints to recognize that two different decision
+// prefixes converged on the same state and to cut off the redundant subtree,
+// turning the decision *tree* into a state *graph* (SPIN/TLA-style state
+// hashing). Two states with equal fingerprints are treated as identical; at
+// 128 bits the collision probability over even billions of states is
+// negligible, but — as in every hashing checker — not zero.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+// FP accumulates a Fingerprint from a sequence of words. The zero value is
+// ready to use; feed state through the typed helpers and call Sum. The
+// accumulation is order-sensitive: callers that need a canonical digest must
+// fold state in a canonical order (or combine per-element digests
+// commutatively — see Mix — for genuinely unordered collections such as
+// maps).
+//
+// FP is a plain value (two words, no heap state): hashing allocates nothing
+// as long as the values folded are label IDs, integers and booleans. Value
+// falls back to reflection-free type switching and, as a last resort, to
+// fmt formatting (which allocates) for exotic types.
+type FP struct {
+	a, b uint64
+}
+
+// mixing constants: splitmix64 / murmur3 finalizer multipliers and the
+// 64-bit golden ratio.
+const (
+	fpM1     = 0xff51afd7ed558ccd
+	fpM2     = 0xc4ceb9fe1a85ec53
+	fpGolden = 0x9e3779b97f4a7c15
+)
+
+// Mix is a 64-bit finalizer (murmur3-style avalanche). It is exported so
+// harnesses can combine per-element digests of unordered collections
+// commutatively: sum (or xor) Mix-ed element digests, then fold the total
+// into the FP with Word.
+func Mix(z uint64) uint64 {
+	z ^= z >> 33
+	z *= fpM1
+	z ^= z >> 29
+	z *= fpM2
+	z ^= z >> 32
+	return z
+}
+
+// Word folds one 64-bit word. The two lanes use decorrelated update
+// functions so the pair behaves like a 128-bit digest.
+func (h *FP) Word(v uint64) {
+	h.a = Mix(h.a ^ v)
+	h.b = Mix(h.b + fpGolden + v*fpM1)
+}
+
+// Int folds an int.
+func (h *FP) Int(v int) { h.Word(uint64(v)) }
+
+// Bool folds a boolean.
+func (h *FP) Bool(v bool) {
+	if v {
+		h.Word(1)
+	} else {
+		h.Word(0)
+	}
+}
+
+// Label folds an interned step label by identity. Labels are stable for the
+// process lifetime, so this is the allocation-free way to fold object
+// identities (objects intern their labels at construction).
+func (h *FP) Label(l Label) { h.Word(uint64(uint32(l))) }
+
+// String folds a string (length-prefixed, so concatenations cannot collide).
+func (h *FP) String(s string) {
+	h.Word(uint64(len(s)))
+	var w uint64
+	n := 0
+	for i := 0; i < len(s); i++ {
+		w = w<<8 | uint64(s[i])
+		if n++; n == 8 {
+			h.Word(w)
+			w, n = 0, 0
+		}
+	}
+	if n > 0 {
+		h.Word(w)
+	}
+}
+
+// type tags keep differently-typed values from colliding in Value.
+const (
+	fpTagNil uint64 = iota + 0x51
+	fpTagBool
+	fpTagInt
+	fpTagUint
+	fpTagString
+	fpTagLabel
+	fpTagProc
+	fpTagOther
+)
+
+// Value folds a dynamically-typed value, as stored in registers, snapshots
+// and decision logs. Common scalar types are folded without allocation;
+// values implementing Fingerprinter fold themselves (the hook composite cell
+// types use); anything else falls back to fmt formatting, which allocates —
+// acceptable for rare types, but hot-path state should stick to scalars or
+// implement Fingerprinter.
+func (h *FP) Value(v any) {
+	switch t := v.(type) {
+	case nil:
+		h.Word(fpTagNil)
+	case bool:
+		h.Word(fpTagBool)
+		h.Bool(t)
+	case int:
+		h.Word(fpTagInt)
+		h.Int(t)
+	case int32:
+		h.Word(fpTagInt)
+		h.Word(uint64(t))
+	case int64:
+		h.Word(fpTagInt)
+		h.Word(uint64(t))
+	case uint:
+		h.Word(fpTagUint)
+		h.Word(uint64(t))
+	case uint64:
+		h.Word(fpTagUint)
+		h.Word(t)
+	case string:
+		h.Word(fpTagString)
+		h.String(t)
+	case Label:
+		h.Word(fpTagLabel)
+		h.Label(t)
+	case ProcID:
+		h.Word(fpTagProc)
+		h.Int(int(t))
+	case Fingerprinter:
+		t.Fingerprint(h)
+	default:
+		h.Word(fpTagOther)
+		h.String(fmt.Sprintf("%T:%v", v, v))
+	}
+}
+
+// Sum finalizes the accumulated state into a Fingerprint. Sum does not
+// consume the FP; more words may be folded and Sum taken again.
+func (h *FP) Sum() Fingerprint {
+	return Fingerprint{
+		Lo: Mix(h.a + fpGolden*h.b),
+		Hi: Mix(h.b ^ (h.a>>31 | h.a<<33)),
+	}
+}
+
+// Observe folds v into the calling process's observation digest when the
+// run's Config.Observe is set (and is a cheap branch otherwise — v is not
+// boxed unless tracking is on). Shared-object implementations call it with
+// every value they return that derives from shared state: the value a read
+// or scan observed, the winner/emptiness verdict of a test&set, dequeue or
+// CAS, an oracle's output. Writes need no observation (no information flows
+// back into the process). The digests make each process's local state a
+// function of its fingerprintable history; replay engines rely on that for
+// state deduplication.
+func Observe[T any](e *Env, v T) {
+	if !e.s.cfg.Observe {
+		return
+	}
+	e.s.obs[e.id].Value(v)
+}
+
+// ProcSet folds an unordered process set commutatively (membership-counted,
+// iteration-order-insensitive) — the canonical fold for the proposed/seen
+// maps shared objects keep.
+func (h *FP) ProcSet(m map[ProcID]bool) {
+	var sum uint64
+	n := 0
+	for id, ok := range m {
+		if ok {
+			sum += Mix(uint64(id) + 1)
+			n++
+		}
+	}
+	h.Int(n)
+	h.Word(sum)
+}
+
+// Fingerprinter is implemented by shared objects (and by harness state) that
+// can fold their current state into a canonical digest. The contract:
+//
+//   - Fingerprint must fold the object's complete checker-observable state:
+//     two objects folding identical words must behave identically under
+//     every future operation sequence.
+//   - Fingerprint must be deterministic: no map-iteration order, pointer
+//     values or timestamps may reach the hash. Unordered collections must be
+//     folded commutatively (see Mix) or in a canonical element order.
+//   - Fingerprint must not take scheduler steps (no Env access): it runs at
+//     decision boundaries, outside any process.
+//
+// The reg, snapshot, object and agreement packages implement Fingerprinter
+// on every shared-object type; exploration harnesses compose those into a
+// per-run digest (explore.Session.Fingerprint) that also covers the harness's
+// own logs.
+type Fingerprinter interface {
+	Fingerprint(h *FP)
+}

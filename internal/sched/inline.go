@@ -161,13 +161,17 @@ func (s *Session) dispatch(self ProcID) bool {
 				s.teardown(self, true, nil)
 				return false
 			}
-			dec, err := s.nextDecision(View{
+			view := View{
 				Step:     s.steps,
 				Runnable: runnable,
 				Pending:  s.pending,
 				Crashed:  s.crashed,
 				StepsOf:  s.stepsOf,
-			})
+			}
+			if s.cfg.Observe {
+				view.Obs = s.obs
+			}
+			dec, err := s.nextDecision(view)
 			if err != nil {
 				s.teardown(self, false, err)
 				return false

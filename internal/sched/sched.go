@@ -98,6 +98,15 @@ type Config struct {
 	// TraceCapacity, when positive, records up to that many (proc, label)
 	// entries of the global schedule in the Result.
 	TraceCapacity int
+	// Observe enables per-process observation digests: every value a shared
+	// object returns from shared state (it reports them via sched.Observe)
+	// is folded into the calling process's FP, exposed to adversaries as
+	// View.Obs. A process's local state is a deterministic function of its
+	// code position and its observation sequence, so the digests let replay
+	// engines fingerprint in-flight local state without seeing it — the
+	// completeness backbone of explore.Config.Dedup. Off by default: the only
+	// cost when off is a branch per observation point.
+	Observe bool
 }
 
 // TraceEntry records one scheduled step.

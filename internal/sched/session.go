@@ -62,6 +62,7 @@ type Session struct {
 	stepsOf   []int
 	lastLabel []Label
 	crashed   []bool
+	obs       []FP // per-process observation digests (Config.Observe)
 
 	steps   int
 	crashes int
@@ -159,6 +160,7 @@ func NewSessionWith(n int, opts SessionOptions) (*Session, error) {
 		stepsOf:   make([]int, n),
 		lastLabel: make([]Label, n),
 		crashed:   make([]bool, n),
+		obs:       make([]FP, n),
 
 		awaitUnwind: -1,
 		detachSelf:  -1,
@@ -250,6 +252,7 @@ func (s *Session) reset(cfg Config, adv Adversary) {
 		s.stepsOf[i] = 0
 		s.lastLabel[i] = LabelNone
 		s.crashed[i] = false
+		s.obs[i] = FP{}
 		e := s.envs[i]
 		e.decided = false
 		e.decision = nil
@@ -342,6 +345,9 @@ func (s *Session) runCentral(bodies []Proc) (*Result, error) {
 		Pending: s.pending,
 		Crashed: s.crashed,
 		StepsOf: s.stepsOf,
+	}
+	if s.cfg.Observe {
+		view.Obs = s.obs
 	}
 
 	budgetExhausted := false

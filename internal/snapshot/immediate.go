@@ -33,6 +33,13 @@ type isCell[T any] struct {
 	val   T
 }
 
+// Fingerprint implements sched.Fingerprinter so isCell values folded through
+// the backing register array hash without fmt formatting.
+func (c isCell[T]) Fingerprint(h *sched.FP) {
+	h.Int(c.level)
+	h.Value(c.val)
+}
+
 // NewImmediate returns a one-shot immediate snapshot for n processes.
 func NewImmediate[T any](name string, n int) *Immediate[T] {
 	if n < 1 {
@@ -43,6 +50,13 @@ func NewImmediate[T any](name string, n int) *Immediate[T] {
 		cells: reg.NewArray[isCell[T]](name, n),
 		done:  make(map[sched.ProcID]bool),
 	}
+}
+
+// Fingerprint implements sched.Fingerprinter: it folds the register array
+// and the (unordered) set of processes that already invoked WriteSnapshot.
+func (s *Immediate[T]) Fingerprint(h *sched.FP) {
+	s.cells.Fingerprint(h)
+	h.ProcSet(s.done)
 }
 
 // View is an immediate-snapshot view: the participants seen and their

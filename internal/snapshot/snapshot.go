@@ -66,6 +66,9 @@ func (s *Primitive[T]) Update(e *sched.Env, i int, v T) {
 // Scan implements Snapshot.
 func (s *Primitive[T]) Scan(e *sched.Env) []T {
 	e.StepL(s.scanL)
+	for i := range s.cells {
+		sched.Observe(e, s.cells[i])
+	}
 	out := make([]T, len(s.cells))
 	copy(out, s.cells)
 	return out
@@ -74,6 +77,15 @@ func (s *Primitive[T]) Scan(e *sched.Env) []T {
 // Len implements Snapshot.
 func (s *Primitive[T]) Len() int { return len(s.cells) }
 
+// Fingerprint implements sched.Fingerprinter: it folds the object's identity
+// and every component in index order.
+func (s *Primitive[T]) Fingerprint(h *sched.FP) {
+	h.Label(s.scanL)
+	for i := range s.cells {
+		h.Value(s.cells[i])
+	}
+}
+
 // afekCell is one single-writer register of the Afek et al. construction:
 // the value, the writer's sequence number, and the view embedded by the
 // write's preceding scan.
@@ -81,6 +93,17 @@ type afekCell[T any] struct {
 	val  T
 	seq  int
 	view []T
+}
+
+// Fingerprint implements sched.Fingerprinter so afekCell observations and
+// state folds avoid the fmt fallback.
+func (c afekCell[T]) Fingerprint(h *sched.FP) {
+	h.Value(c.val)
+	h.Int(c.seq)
+	h.Int(len(c.view))
+	for i := range c.view {
+		h.Value(c.view[i])
+	}
 }
 
 // Afek is the wait-free snapshot construction of Afek, Attiya, Dolev, Gafni,
@@ -106,6 +129,7 @@ type regArray[T any] struct {
 
 func (a *regArray[T]) read(e *sched.Env, i int) afekCell[T] {
 	e.StepL(a.readL[i])
+	sched.Observe(e, a.cells[i])
 	return a.cells[i]
 }
 
@@ -129,6 +153,15 @@ func NewAfek[T any](name string, n int) *Afek[T] {
 
 // Len implements Snapshot.
 func (s *Afek[T]) Len() int { return len(s.regs.cells) }
+
+// Fingerprint implements sched.Fingerprinter: it folds every underlying
+// register — value, sequence number and embedded view — in index order.
+func (s *Afek[T]) Fingerprint(h *sched.FP) {
+	h.Label(s.regs.writeL[0])
+	for i := range s.regs.cells {
+		s.regs.cells[i].Fingerprint(h)
+	}
+}
 
 // Update implements Snapshot: it embeds a fresh scan in the written cell so
 // that concurrent scanners can borrow it.
