@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json explore-smoke experiments docs-check
+.PHONY: build vet test bench bench-json explore-smoke spec-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -19,22 +19,33 @@ test: build vet
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Perf trajectory: exhaustive-sweep throughput (sequential respawning
-# baseline vs session-reuse vs parallel, each without and with state-dedup)
-# recorded as BENCH_explore.json. Fails if the best dedup runs-explored
-# reduction drops below 2x.
+# Perf trajectory: exhaustive-sweep throughput for every registered spec
+# (sequential respawning baseline vs session-reuse vs parallel, each without
+# and with state-dedup where the spec supports it) recorded as
+# BENCH_explore.json. Fails if the best dedup runs-explored reduction drops
+# below 2x.
 bench-json: build
 	$(GO) run ./cmd/benchexplore -o BENCH_explore.json
+
+# Spec-registry conformance (CI's test job): the spectest suite — checker
+# and fingerprint determinism, dedup/prune outcome-set preservation,
+# sequential/parallel equality, capability honesty — over every registered
+# spec on a bounded grid.
+spec-conformance: build
+	$(GO) test -race -count=1 -run TestConformanceAllSpecs ./internal/explore/spectest
 
 # Bounded exhaustive-exploration smoke: every cell is capped by -maxruns, so
 # this can never hang CI even on pathological trees (the BG cell alone would
 # otherwise be astronomically deep).
 explore-smoke: build
+	$(GO) run ./cmd/explore -list
 	$(GO) run ./cmd/explore -object safe -n 2 -crashes 0,1 -maxruns 5000 -compare
 	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune
 	$(GO) run ./cmd/explore -object commitadopt -n 2,3 -maxruns 5000 -prune
 	$(GO) run ./cmd/explore -object commitadopt -n 2,3 -maxruns 5000 -dedup -compare
 	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune -dedup
+	$(GO) run ./cmd/explore -object queue -n 3 -set ops=1 -crashes 0,1 -maxruns 20000 -dedup
+	$(GO) run ./cmd/explore -object xcompete -n 3 -x 2 -crashes 1 -maxruns 5000 -prune -dedup
 	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -maxruns 2000
 
 # Docs/health gate (CI's docs job): formatting must be clean, vet must pass,

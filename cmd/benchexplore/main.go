@@ -1,10 +1,16 @@
 // Command benchexplore records the exhaustive-exploration throughput
-// trajectory: it runs the commit-adopt and x-safe exhaustive sweeps under
-// five engines — the PR-1 style sequential respawning explorer, the
-// sequential session-reuse explorer, the parallel session-backed worker
-// pool, and the sequential + parallel engines with state-fingerprint
-// deduplication — and writes the runs/sec results as JSON
-// (BENCH_explore.json via `make bench-json`).
+// trajectory, driven entirely by the spec registry: every registered
+// scenario contributes a crash-free and a crashes=1 sweep at its declared
+// defaults, each run under up to five engines — the PR-1 style sequential
+// respawning explorer, the sequential session-reuse explorer, the parallel
+// session-backed worker pool, and the sequential + parallel engines with
+// state-fingerprint deduplication (dedup engines only for specs whose
+// SupportsDedup flag is set). Results land as JSON (BENCH_explore.json via
+// `make bench-json`).
+//
+// Scenarios the run budget cannot exhaust (the BG simulation) are skipped
+// with a note: a throughput number is only meaningful for a completed state
+// space.
 //
 // Every tree-walking cell asserts the engines visited identical state spaces
 // before reporting, so a number in the file is also a passed determinism
@@ -15,7 +21,7 @@
 //
 // Usage:
 //
-//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3]
+//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000]
 package main
 
 import (
@@ -28,22 +34,29 @@ import (
 	"time"
 
 	"mpcn/internal/explore"
-	"mpcn/internal/explore/sessions"
+	"mpcn/internal/explore/spec"
+
+	// Register the built-in scenarios.
+	_ "mpcn/internal/explore/sessions"
 )
 
-// sweep is one benchmarked workload cell.
+// sweep is one benchmarked workload cell: a registered spec at a resolved
+// parameter assignment.
 type sweep struct {
-	name       string
-	newSession func() explore.Session
-	cfg        explore.Config
+	name string
+	spec spec.Spec
+	p    spec.Params
 }
 
 // Record is one engine measurement of one sweep, as serialized.
 type Record struct {
-	Sweep      string  `json:"sweep"`
-	Engine     string  `json:"engine"`
-	Runs       int     `json:"runs"`
-	Pruned     int     `json:"pruned"`
+	Sweep  string `json:"sweep"`
+	Spec   string `json:"spec"`
+	Params string `json:"params"`
+	Engine string `json:"engine"`
+	Runs   int    `json:"runs"`
+	Pruned int    `json:"pruned"`
+
 	ElapsedSec float64 `json:"elapsed_sec"`
 	RunsPerSec float64 `json:"runs_per_sec"`
 	// Dedup-engine extras: distinct states visited, visited-state hits, and
@@ -67,25 +80,44 @@ func main() {
 	out := flag.String("o", "BENCH_explore.json", "output file")
 	workers := flag.Int("workers", 0, "parallel worker-pool size (<= 0 selects the default)")
 	reps := flag.Int("reps", 3, "repetitions per cell; the best rep is reported")
+	probe := flag.Int("probe", 20000, "exhaustibility probe: skip sweeps that exceed this many runs")
 	flag.Parse()
-	if err := run(*out, *workers, *reps); err != nil {
+	if err := run(*out, *workers, *reps, *probe); err != nil {
 		fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(out string, workers, reps int) error {
+// sweeps derives the benchmark cells from the registry: per spec, the
+// declared defaults without crashes and with a single-crash budget.
+func sweeps() ([]sweep, error) {
+	var out []sweep
+	for _, s := range spec.All() {
+		for _, crashes := range []int{0, 1} {
+			p, err := spec.Resolve(s, spec.Params{spec.ParamCrashes: crashes})
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: %w", s.Name(), err)
+			}
+			name := s.Name() + "/defaults"
+			if crashes > 0 {
+				name = fmt.Sprintf("%s/crashes=%d", s.Name(), crashes)
+			}
+			out = append(out, sweep{name: name, spec: s, p: p})
+		}
+	}
+	return out, nil
+}
+
+func run(out string, workers, reps, probe int) error {
 	if workers <= 0 {
 		workers = explore.DefaultWorkers()
 	}
 	if reps < 1 {
 		reps = 1
 	}
-	sweeps := []sweep{
-		{"commitadopt/n=2", sessions.CommitAdopt(2), explore.Config{MaxSteps: 64}},
-		{"commitadopt/n=2/crashes=1", sessions.CommitAdopt(2), explore.Config{MaxCrashes: 1, MaxSteps: 64}},
-		{"xsafe/n=2/x=1/crashes=1", sessions.XSafe(2, 1, 2), explore.Config{MaxCrashes: 1, MaxSteps: 256}},
-		{"xsafe/n=2/x=2/crashes=1", sessions.XSafe(2, 2, 2), explore.Config{MaxCrashes: 1, MaxSteps: 256}},
+	cells, err := sweeps()
+	if err != nil {
+		return err
 	}
 	report := Report{
 		GeneratedUnix: time.Now().Unix(),
@@ -95,12 +127,25 @@ func run(out string, workers, reps int) error {
 		Reps:          reps,
 	}
 	bestReduction := 0.0
-	for _, sw := range sweeps {
+	for _, sw := range cells {
+		// Exhaustibility probe: a throughput number is only meaningful for a
+		// completed state space.
+		cfg, err := spec.Config(sw.spec, sw.p, explore.Config{MaxRuns: probe})
+		if err != nil {
+			return fmt.Errorf("%s: %w", sw.name, err)
+		}
+		if st, err := explore.ExploreSession(sw.spec.New(sw.p), cfg); err != nil {
+			return fmt.Errorf("%s (probe): %w", sw.name, err)
+		} else if !st.Exhausted {
+			fmt.Printf("%-28s skipped: exceeds the %d-run probe budget\n", sw.name, probe)
+			continue
+		}
+		engines := []string{"sequential-respawn", "sequential-session", "parallel-session"}
+		if sw.spec.SupportsDedup() {
+			engines = append(engines, "sequential-session-dedup", "parallel-session-dedup")
+		}
 		var baseline explore.Stats
-		for _, engine := range []string{
-			"sequential-respawn", "sequential-session", "parallel-session",
-			"sequential-session-dedup", "parallel-session-dedup",
-		} {
+		for _, engine := range engines {
 			best, err := measure(sw, engine, workers, reps)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", sw.name, engine, err)
@@ -121,6 +166,8 @@ func run(out string, workers, reps int) error {
 			}
 			rec := Record{
 				Sweep:      sw.name,
+				Spec:       sw.spec.Name(),
+				Params:     sw.p.String(),
 				Engine:     engine,
 				Runs:       best.Runs,
 				Pruned:     best.Pruned,
@@ -164,25 +211,27 @@ func run(out string, workers, reps int) error {
 func measure(sw sweep, engine string, workers, reps int) (explore.Stats, error) {
 	var best explore.Stats
 	for r := 0; r < reps; r++ {
-		cfg := sw.cfg
+		cfg, err := spec.Config(sw.spec, sw.p, explore.Config{})
+		if err != nil {
+			return best, err
+		}
 		var stats explore.Stats
-		var err error
 		switch engine {
 		case "sequential-respawn":
 			cfg.Respawn = true
-			stats, err = explore.ExploreSession(sw.newSession(), cfg)
+			stats, err = explore.ExploreSession(sw.spec.New(sw.p), cfg)
 		case "sequential-session":
-			stats, err = explore.ExploreSession(sw.newSession(), cfg)
+			stats, err = explore.ExploreSession(sw.spec.New(sw.p), cfg)
 		case "parallel-session":
 			cfg.Workers = workers
-			stats, err = explore.ExploreParallel(sw.newSession, cfg)
+			stats, err = explore.ExploreParallel(spec.Factory(sw.spec, sw.p), cfg)
 		case "sequential-session-dedup":
 			cfg.Dedup = true
-			stats, err = explore.ExploreSession(sw.newSession(), cfg)
+			stats, err = explore.ExploreSession(sw.spec.New(sw.p), cfg)
 		case "parallel-session-dedup":
 			cfg.Dedup = true
 			cfg.Workers = workers
-			stats, err = explore.ExploreParallel(sw.newSession, cfg)
+			stats, err = explore.ExploreParallel(spec.Factory(sw.spec, sw.p), cfg)
 		default:
 			return best, fmt.Errorf("unknown engine %q", engine)
 		}

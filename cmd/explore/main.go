@@ -1,20 +1,31 @@
 // Command explore runs the exhaustive model checker over grids of bounded
 // configurations: every schedule (and optionally every crash placement) of
-// the selected object is enumerated and its safety properties are checked,
+// the selected scenario is enumerated and its safety properties are checked,
 // turning the repository's sampled sweeps into per-configuration proofs.
+//
+// Scenarios are resolved through the spec registry (internal/explore/spec):
+// every registered spec is a self-describing harness with typed parameter
+// domains, and the flags below are parsed against the selected spec's
+// declared domains. `explore -list` enumerates the registry.
 //
 // Usage:
 //
+//	explore -list
 //	explore -object safe        -n 2,3 -crashes 0,1 [-prune] [-dedup] [-workers 8]
 //	explore -object xsafe       -n 2,3 -x 1,2 -crashes 0,1 -prune
 //	explore -object commitadopt -n 2 -crashes 0,1 -dedup
+//	explore -object queue       -n 3 -set ops=1,2 -crashes 1 -dedup
 //	explore -object bg          -n 2,3 -t 1 -maxruns 20000
 //	explore -object registers   -n 3 -prune -compare
 //
-// Grid flags (-n, -x, -t, -crashes, -steps) accept comma-separated value
-// lists and sweep their cartesian product. Each cell prints the visited-run
-// count, pruned branches, tree depth, throughput and the exhaustion verdict;
-// any property violation aborts with the reproducing decision script.
+// Grid flags (-n, -x, -t, -crashes, -steps, -probes) accept comma-separated
+// value lists and sweep their cartesian product; parameters the spec does
+// not declare are rejected when set explicitly. -set name=v1,v2 addresses
+// any declared parameter by name (repeatable), so scenario-specific domains
+// (ops, writes, retries, ...) need no dedicated flag. Each grid cell prints
+// the visited-run count, pruned branches, tree depth, throughput and the
+// exhaustion verdict; any property violation aborts with the reproducing
+// decision script.
 //
 // The BG simulation's decision tree is astronomically deep even for tiny
 // configurations: bound it with -maxruns (the run is then a coverage smoke,
@@ -25,7 +36,8 @@
 // determinism guarantee the engine's tests rely on.
 //
 // -dedup enables state-fingerprint deduplication (visited-state cut-offs;
-// bound the store with -dedupmem). Under -dedup the parallel engine's
+// bound the store with -dedupmem); specs without a fingerprint (SupportsDedup
+// false in -list) reject it up front. Under -dedup the parallel engine's
 // visited-run count depends on worker timing, so -compare only verifies the
 // exhaustion verdict and reports the sequential run count alongside.
 package main
@@ -40,7 +52,10 @@ import (
 	"strings"
 
 	"mpcn/internal/explore"
-	"mpcn/internal/explore/sessions"
+	"mpcn/internal/explore/spec"
+
+	// Register the built-in scenarios.
+	_ "mpcn/internal/explore/sessions"
 )
 
 func main() {
@@ -49,12 +64,8 @@ func main() {
 
 type options struct {
 	object   string
-	ns       []int
-	xs       []int
-	ts       []int
-	crashes  []int
-	steps    []int
-	probes   int
+	list     bool
+	grids    map[string][]int
 	workers  int
 	maxRuns  int
 	prune    bool
@@ -65,17 +76,30 @@ type options struct {
 	respawn  bool
 }
 
+// setFlags collects repeatable -set name=v1,v2 assignments.
+type setFlags []string
+
+func (s *setFlags) String() string     { return strings.Join(*s, " ") }
+func (s *setFlags) Set(v string) error { *s = append(*s, v); return nil }
+
 func run(args []string, out io.Writer) int {
 	fs := flag.NewFlagSet("explore", flag.ContinueOnError)
 	var o options
-	var ns, xs, ts, crashes, steps string
-	fs.StringVar(&o.object, "object", "safe", "object to check: safe|xsafe|commitadopt|bg|registers")
-	fs.StringVar(&ns, "n", "2", "process counts (comma-separated grid)")
-	fs.StringVar(&xs, "x", "1", "consensus numbers for xsafe (comma-separated grid)")
-	fs.StringVar(&ts, "t", "1", "resilience for bg (comma-separated grid)")
-	fs.StringVar(&crashes, "crashes", "0", "max crashes per run (comma-separated grid)")
-	fs.StringVar(&steps, "steps", "0", "per-run step budgets, 0 = default (comma-separated grid)")
-	fs.IntVar(&o.probes, "probes", 2, "bounded decide probes per process (safe/xsafe)")
+	var sets setFlags
+	named := map[string]*string{}
+	fs.StringVar(&o.object, "object", "safe", "spec to check (see -list)")
+	fs.BoolVar(&o.list, "list", false, "list the registered specs with their parameter domains and exit")
+	for _, g := range []struct{ name, usage, def string }{
+		{"n", "process counts (comma-separated grid)", "2"},
+		{"x", "consensus numbers (comma-separated grid)", "1"},
+		{"t", "resilience (comma-separated grid)", "1"},
+		{"crashes", "max crashes per run (comma-separated grid)", "0"},
+		{"steps", "per-run step budgets, 0 = default (comma-separated grid)", "0"},
+		{"probes", "bounded decide probes per process (comma-separated grid)", "2"},
+	} {
+		named[g.name] = fs.String(g.name, g.def, g.usage)
+	}
+	fs.Var(&sets, "set", "grid for any declared spec parameter, name=v1,v2 (repeatable)")
 	fs.IntVar(&o.workers, "workers", 0, "worker pool size (<= 0 selects the default)")
 	fs.IntVar(&o.maxRuns, "maxruns", 0, "abort each cell after this many runs (0 = exhaustive)")
 	fs.BoolVar(&o.prune, "prune", false, "enable partial-order reduction")
@@ -87,13 +111,29 @@ func run(args []string, out io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if o.list {
+		printList(out)
+		return 0
+	}
+	// Only explicitly-set named grid flags enter the parameter grids, so a
+	// spec is never asked to validate the unrelated defaults of another
+	// spec's convenience flags.
+	o.grids = map[string][]int{}
 	var err error
-	if o.ns, err = parseGrid(ns); err == nil {
-		if o.xs, err = parseGrid(xs); err == nil {
-			if o.ts, err = parseGrid(ts); err == nil {
-				if o.crashes, err = parseGrid(crashes); err == nil {
-					o.steps, err = parseGrid(steps)
-				}
+	fs.Visit(func(f *flag.Flag) {
+		if p, ok := named[f.Name]; ok && err == nil {
+			err = addGrid(o.grids, f.Name, *p)
+		}
+	})
+	if err == nil {
+		for _, assign := range sets {
+			name, vals, ok := strings.Cut(assign, "=")
+			if !ok {
+				err = fmt.Errorf("bad -set %q, want name=v1,v2", assign)
+				break
+			}
+			if err = addGrid(o.grids, strings.TrimSpace(name), vals); err != nil {
+				break
 			}
 		}
 	}
@@ -112,6 +152,18 @@ func run(args []string, out io.Writer) int {
 	return 0
 }
 
+func addGrid(grids map[string][]int, name, vals string) error {
+	if _, dup := grids[name]; dup {
+		return fmt.Errorf("parameter %q set twice", name)
+	}
+	g, err := parseGrid(vals)
+	if err != nil {
+		return fmt.Errorf("parameter %q: %w", name, err)
+	}
+	grids[name] = g
+	return nil
+}
+
 func parseGrid(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
 	out := make([]int, 0, len(parts))
@@ -125,81 +177,89 @@ func parseGrid(s string) ([]int, error) {
 	return out, nil
 }
 
-// cell is one grid configuration.
-type cell struct {
-	n, x, t, crashes, steps int
-}
-
-func (c cell) String() string {
-	return fmt.Sprintf("n=%d x=%d t=%d crashes=%d steps=%d", c.n, c.x, c.t, c.crashes, c.steps)
+// printList enumerates the registry: every spec's doc line, parameter
+// domains (name, default, valid range) and capability flags.
+func printList(out io.Writer) {
+	all := spec.All()
+	fmt.Fprintf(out, "registered specs (%d):\n", len(all))
+	for _, s := range all {
+		caps := make([]string, 0, 2)
+		if s.SupportsPrune() {
+			caps = append(caps, "prune")
+		}
+		if s.SupportsDedup() {
+			caps = append(caps, "dedup")
+		}
+		if len(caps) == 0 {
+			caps = append(caps, "none")
+		}
+		fmt.Fprintf(out, "\n%s — %s\n", s.Name(), s.Doc())
+		fmt.Fprintf(out, "  supports: %s\n", strings.Join(caps, ", "))
+		for _, p := range s.Params() {
+			fmt.Fprintf(out, "  -set %s=%d  [%s]  %s\n", p.Name, p.Default, p.Range(), p.Doc)
+		}
+	}
 }
 
 func sweep(o options, out io.Writer) error {
-	cells := make([]cell, 0, len(o.ns)*len(o.xs)*len(o.crashes)*len(o.steps))
-	for _, n := range o.ns {
-		for _, x := range o.xs {
-			for _, t := range o.ts {
-				for _, cr := range o.crashes {
-					for _, st := range o.steps {
-						cells = append(cells, cell{n: n, x: x, t: t, crashes: cr, steps: st})
-					}
-				}
-			}
-		}
+	s, err := spec.Lookup(o.object)
+	if err != nil {
+		return err
+	}
+	cells, err := spec.Grid(s, o.grids)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(out, "exhaustive exploration of %s (prune=%v, workers=%d, maxruns=%d)\n",
-		o.object, o.prune, o.workers, o.maxRuns)
+		s.Name(), o.prune, o.workers, o.maxRuns)
 	fmt.Fprintf(out, "%-40s %10s %8s %6s %10s %10s %s\n",
 		"configuration", "runs", "pruned", "depth", "runs/sec", "elapsed", "verdict")
-	for _, c := range cells {
-		newSession, err := sessionFor(o, c)
+	for _, p := range cells {
+		cfg, err := spec.Config(s, p, explore.Config{
+			MaxRuns:  o.maxRuns,
+			Workers:  o.workers,
+			Prune:    o.prune,
+			Dedup:    o.dedup,
+			DedupMem: o.dedupMem << 20,
+			Respawn:  o.respawn,
+		})
 		if err != nil {
-			return fmt.Errorf("%v: %w", c, err)
-		}
-		cfg := explore.Config{
-			MaxCrashes: c.crashes,
-			MaxSteps:   c.steps,
-			MaxRuns:    o.maxRuns,
-			Workers:    o.workers,
-			Prune:      o.prune,
-			Dedup:      o.dedup,
-			DedupMem:   o.dedupMem << 20,
-			Respawn:    o.respawn,
+			return err
 		}
 		var stats explore.Stats
 		if o.seq {
-			stats, err = explore.ExploreSession(newSession(), cfg)
+			stats, err = explore.ExploreSession(s.New(p), cfg)
 		} else {
-			stats, err = explore.ExploreParallel(newSession, cfg)
+			stats, err = explore.ExploreParallel(spec.Factory(s, p), cfg)
 		}
 		if err != nil {
-			return fmt.Errorf("%v: %w", c, err)
+			return fmt.Errorf("spec %q %v: %w", s.Name(), p, err)
 		}
 		verdict := "EXHAUSTED"
 		if !stats.Exhausted {
 			verdict = "partial (bounded)"
 		}
 		fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s %s\n",
-			c, stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
+			p, stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
 			stats.Elapsed.Round(stats.Elapsed/100+1), verdict)
 		if o.dedup {
 			fmt.Fprintf(out, "%-40s %s\n", "  (dedup)", stats.Dedup)
 		}
 		if o.compare && !o.seq {
-			seq, err := explore.ExploreSession(newSession(), cfg)
+			seq, err := explore.ExploreSession(s.New(p), cfg)
 			if err != nil {
-				return fmt.Errorf("%v (sequential): %w", c, err)
+				return fmt.Errorf("spec %q %v (sequential): %w", s.Name(), p, err)
 			}
 			if o.dedup {
 				// Parallel dedup run counts are timing-dependent; only the
 				// verdict is comparable.
 				if seq.Exhausted != stats.Exhausted {
 					return fmt.Errorf("%v: parallel/sequential verdict divergence under dedup: par=%v seq=%v",
-						c, stats.Exhausted, seq.Exhausted)
+						p, stats.Exhausted, seq.Exhausted)
 				}
 			} else if seq.Runs != stats.Runs || seq.Exhausted != stats.Exhausted || seq.Pruned != stats.Pruned {
 				return fmt.Errorf("%v: parallel/sequential divergence: par={runs:%d pruned:%d} seq={runs:%d pruned:%d}",
-					c, stats.Runs, stats.Pruned, seq.Runs, seq.Pruned)
+					p, stats.Runs, stats.Pruned, seq.Runs, seq.Pruned)
 			}
 			fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s sequential check OK\n",
 				"  (sequential)", seq.Runs, seq.Pruned, seq.MaxDepth, seq.RunsPerSec(),
@@ -207,33 +267,4 @@ func sweep(o options, out io.Writer) error {
 		}
 	}
 	return nil
-}
-
-// sessionFor builds the per-worker session factory for one grid cell. The
-// harnesses themselves (bodies + checkers) live in explore/sessions, shared
-// with the E16 experiments and the benchmarks.
-func sessionFor(o options, c cell) (func() explore.Session, error) {
-	if c.n < 1 {
-		return nil, fmt.Errorf("need n >= 1")
-	}
-	switch o.object {
-	case "safe":
-		return sessions.SafeAgreement(c.n, o.probes, nil), nil
-	case "xsafe":
-		if c.x < 1 || c.x > c.n {
-			return nil, fmt.Errorf("xsafe needs 1 <= x <= n")
-		}
-		return sessions.XSafe(c.n, c.x, o.probes), nil
-	case "commitadopt":
-		return sessions.CommitAdopt(c.n), nil
-	case "bg":
-		if c.t < 0 || c.t >= c.n {
-			return nil, fmt.Errorf("bg needs 0 <= t < n")
-		}
-		return sessions.BG(c.n, c.t)
-	case "registers":
-		return sessions.Registers(c.n, 2), nil
-	default:
-		return nil, fmt.Errorf("unknown object %q", o.object)
-	}
 }

@@ -1,107 +1,112 @@
 package main
 
 import (
+	"bytes"
 	"io"
 	"strings"
 	"testing"
 
-	"mpcn/internal/explore"
+	"mpcn/internal/explore/spec"
 )
 
-func baseOptions() options {
-	return options{
-		object:  "safe",
-		ns:      []int{2},
-		xs:      []int{1},
-		ts:      []int{1},
-		crashes: []int{0},
-		steps:   []int{128},
-		probes:  2,
-		workers: 2,
-	}
-}
-
-func exploreCell(t *testing.T, o options, c cell) explore.Stats {
-	t.Helper()
-	newSession, err := sessionFor(o, c)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stats, err := explore.ExploreParallel(newSession, explore.Config{
-		MaxCrashes: c.crashes,
-		MaxSteps:   c.steps,
-		MaxRuns:    o.maxRuns,
-		Workers:    o.workers,
-		Prune:      o.prune,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	return stats
-}
-
-// TestSessionsExhaustTinyConfigs: every CLI object yields a session whose
-// tiny configuration the explorer can exhaust without violations.
-func TestSessionsExhaustTinyConfigs(t *testing.T) {
+// TestSpecsExhaustTinyConfigs: a tiny configuration of every registry-backed
+// CLI scenario exhausts without violations, end to end through run().
+func TestSpecsExhaustTinyConfigs(t *testing.T) {
 	cases := []struct {
 		name string
-		mut  func(*options, *cell)
+		args string
 	}{
-		{"safe", func(o *options, c *cell) {}},
-		{"safe crash", func(o *options, c *cell) { c.crashes = 1 }},
-		{"xsafe", func(o *options, c *cell) { o.object = "xsafe"; c.x = 2; o.prune = true }},
-		{"commitadopt", func(o *options, c *cell) { o.object = "commitadopt"; c.crashes = 1 }},
-		{"registers pruned", func(o *options, c *cell) { o.object = "registers"; c.n = 3; o.prune = true }},
+		{"safe", "-object safe -n 2 -workers 2"},
+		{"safe crash", "-object safe -n 2 -crashes 1 -workers 2"},
+		{"xsafe", "-object xsafe -n 2 -x 2 -prune -workers 2"},
+		{"commitadopt", "-object commitadopt -n 2 -crashes 1 -workers 2"},
+		{"registers pruned", "-object registers -n 3 -set writes=2 -prune -workers 2"},
+		{"testandset dedup", "-object testandset -n 3 -crashes 1 -dedup -workers 2"},
+		{"queue", "-object queue -n 3 -set ops=1 -dedup -workers 2"},
+		{"xcompete", "-object xcompete -n 3 -x 2 -crashes 1 -workers 2"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			o := baseOptions()
-			c := cell{n: 2, x: 1, t: 1, crashes: 0, steps: 128}
-			tc.mut(&o, &c)
-			stats := exploreCell(t, o, c)
-			if !stats.Exhausted || stats.Runs == 0 {
-				t.Fatalf("stats = %+v", stats)
+			var out bytes.Buffer
+			if code := run(strings.Fields(tc.args), &out); code != 0 {
+				t.Fatalf("exit code %d\n%s", code, out.String())
+			}
+			if !strings.Contains(out.String(), "EXHAUSTED") {
+				t.Fatalf("no EXHAUSTED verdict in:\n%s", out.String())
 			}
 		})
 	}
 }
 
 // TestBGSessionBoundedSmoke: the BG simulation tree is explored under a
-// MaxRuns bound and reports partial coverage — the CI-safe smoke mode.
+// -maxruns bound and reports partial coverage — the CI-safe smoke mode.
 func TestBGSessionBoundedSmoke(t *testing.T) {
-	o := baseOptions()
-	o.object = "bg"
-	o.maxRuns = 200
-	c := cell{n: 2, x: 1, t: 1, crashes: 0, steps: 400}
-	stats := exploreCell(t, o, c)
-	if stats.Exhausted {
-		t.Fatal("a 200-run bound cannot exhaust the BG tree")
+	var out bytes.Buffer
+	code := run(strings.Fields("-object bg -n 2 -t 1 -steps 400 -maxruns 200 -workers 2"), &out)
+	if code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out.String())
 	}
-	if stats.Runs != 200 {
-		t.Fatalf("runs = %d, want exactly the bound", stats.Runs)
+	if !strings.Contains(out.String(), "partial (bounded)") {
+		t.Fatalf("a 200-run bound cannot exhaust the BG tree:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "       200 ") {
+		t.Fatalf("runs != the 200-run bound:\n%s", out.String())
 	}
 }
 
-func TestSessionForRejectsInvalid(t *testing.T) {
+// TestInvalidConfigurationsRejected: parameter values outside the declared
+// domains (and unknown specs/parameters) fail before any exploration runs.
+func TestInvalidConfigurationsRejected(t *testing.T) {
 	cases := []struct {
 		name string
-		mut  func(*options, *cell)
+		args string
 	}{
-		{"unknown object", func(o *options, c *cell) { o.object = "nope" }},
-		{"xsafe x>n", func(o *options, c *cell) { o.object = "xsafe"; c.x = 5 }},
-		{"xsafe x<1", func(o *options, c *cell) { o.object = "xsafe"; c.x = 0 }},
-		{"bg t>=n", func(o *options, c *cell) { o.object = "bg"; c.t = 2 }},
-		{"n<1", func(o *options, c *cell) { c.n = 0 }},
+		{"unknown object", "-object nope"},
+		{"xsafe x>n", "-object xsafe -n 2 -x 5"},
+		{"xsafe x<1", "-object xsafe -x 0"},
+		{"bg t>=n", "-object bg -n 2 -t 2"},
+		{"n<1", "-object safe -n 0"},
+		{"undeclared param", "-object safe -t 1"},
+		{"undeclared set param", "-object safe -set bogus=1"},
+		{"xconsensus n>x", "-object xconsensus -n 3 -x 2"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			o := baseOptions()
-			c := cell{n: 2, x: 1, t: 1}
-			tc.mut(&o, &c)
-			if _, err := sessionFor(o, c); err == nil {
-				t.Fatalf("sessionFor(%+v, %+v) should fail", o, c)
+			if code := run(strings.Fields(tc.args), io.Discard); code == 0 {
+				t.Fatalf("%q accepted", tc.args)
 			}
 		})
+	}
+}
+
+// TestUnknownSpecErrorListsAvailable: the Lookup failure surfaced to the
+// user names the registered alternatives.
+func TestUnknownSpecErrorListsAvailable(t *testing.T) {
+	_, err := spec.Lookup("nope")
+	if err == nil {
+		t.Fatal("unknown spec accepted")
+	}
+	for _, want := range []string{"available:", "safe", "queue", "bg"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestDedupOnFingerprintlessSpecRejected: -dedup against the BG spec (no
+// fingerprint) fails up front with the spec-tagged ErrNoFingerprint.
+func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
+	err := sweep(options{object: "bg", grids: map[string][]int{}, dedup: true, maxRuns: 10}, io.Discard)
+	if err == nil {
+		t.Fatal("dedup accepted on a fingerprint-less spec")
+	}
+	for _, want := range []string{`"bg"`, "Fingerprint"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	if code := run(strings.Fields("-object bg -dedup -maxruns 10"), io.Discard); code == 0 {
+		t.Fatal("run() must propagate the dedup rejection")
 	}
 }
 
@@ -128,5 +133,35 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	}
 	if code := run(strings.Fields("-n bogus"), io.Discard); code == 0 {
 		t.Fatal("bad grid must exit non-zero")
+	}
+	if code := run(strings.Fields("-set bogus"), io.Discard); code == 0 {
+		t.Fatal("malformed -set must exit non-zero")
+	}
+}
+
+// TestListEnumeratesRegistry: -list prints every registered spec with its
+// parameter domains, defaults, capability flags and doc line.
+func TestListEnumeratesRegistry(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-list"}, &out); code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	text := out.String()
+	for _, s := range spec.All() {
+		if !strings.Contains(text, s.Name()+" — "+s.Doc()) {
+			t.Errorf("-list missing spec %q with its doc line", s.Name())
+		}
+	}
+	for _, want := range []string{
+		"registered specs (",
+		"supports: prune, dedup", // every fingerprinted scenario
+		"supports: prune\n",      // bg: no dedup
+		"-set n=2  [1..∞]",       // a parameter domain with default and range
+		"-set crashes=0",         // the auto-declared engine params
+		"-set steps=0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-list output missing %q:\n%s", want, text)
+		}
 	}
 }

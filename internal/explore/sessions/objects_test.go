@@ -1,0 +1,111 @@
+package sessions
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/spec"
+)
+
+func TestConserveElementsViolations(t *testing.T) {
+	ok := func(v any) dequeueRecord { return dequeueRecord{v: v, ok: true} }
+	cases := []struct {
+		name     string
+		inserted []any
+		removed  []dequeueRecord
+		final    []int
+		want     string // "" = no violation
+	}{
+		{"conserved", []any{1, 2, 3}, []dequeueRecord{ok(2)}, []int{1, 3}, ""},
+		{"all removed", []any{1, 2}, []dequeueRecord{ok(1), ok(2)}, nil, ""},
+		{"empty observation", []any{1}, []dequeueRecord{{v: 0, ok: false}}, []int{1}, "empty container"},
+		{"uninserted removal", []any{1}, []dequeueRecord{ok(9)}, []int{1}, "not inserted"},
+		{"double removal", []any{1, 2}, []dequeueRecord{ok(1), ok(1)}, []int{2}, "not inserted (or removed twice)"},
+		{"lost value", []any{1, 2}, []dequeueRecord{ok(1)}, nil, "lost"},
+		{"phantom final", []any{1}, []dequeueRecord{ok(1)}, []int{7}, "un-inserted"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := conserveElements("queue", tc.inserted, tc.removed, tc.final)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("unexpected violation: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want one containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestObjectSpecsExhaustTinyConfigs: every object-layer scenario registered
+// by this package exhausts its default configuration — with a crash budget,
+// with reduction, and with dedup — without a property violation.
+func TestObjectSpecsExhaustTinyConfigs(t *testing.T) {
+	for _, name := range []string{"testandset", "queue", "stack", "cas", "xconsensus", "xcompete"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := spec.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := spec.Resolve(s, spec.Params{"crashes": 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := spec.Config(s, p, explore.Config{Prune: true, Dedup: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats, err := explore.ExploreSession(s.New(p), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !stats.Exhausted || stats.Runs == 0 {
+				t.Fatalf("stats = %+v", stats)
+			}
+		})
+	}
+}
+
+// TestWedgedBudgetSurfacesAsViolation: the wait-freedom clause of the object
+// checkers fires when a run is truncated by the step budget, and the
+// violation carries its replay script.
+func TestWedgedBudgetSurfacesAsViolation(t *testing.T) {
+	s, err := spec.Lookup("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := spec.Resolve(s, spec.Params{"steps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := spec.Config(s, p, explore.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = explore.ExploreSession(s.New(p), cfg)
+	var pe *explore.PropertyError
+	if !errors.As(err, &pe) || !strings.Contains(err.Error(), "wedged") {
+		t.Fatalf("err = %v, want a wedged PropertyError", err)
+	}
+	if len(pe.Script) == 0 {
+		t.Fatal("violation lost its replay script")
+	}
+}
+
+// TestXConsensusSpecRejectsOverCapacity: the registry-declared constraint
+// n <= x guards the object's port-capacity panic.
+func TestXConsensusSpecRejectsOverCapacity(t *testing.T) {
+	s, err := spec.Lookup("xconsensus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Resolve(s, spec.Params{"n": 3, "x": 2}); err == nil ||
+		!strings.Contains(err.Error(), "n <= x") {
+		t.Fatalf("over-capacity resolve: %v", err)
+	}
+}

@@ -1,9 +1,14 @@
 // Package sessions provides ready-made explorer sessions for the
-// repository's agreement objects and simulations: the one place where each
-// object's exhaustive-exploration harness (process bodies + property
-// checker) is defined, shared by cmd/explore, the E16 experiment rows and
-// the explorer benchmarks. Checkers are insensitive to the order of
-// commuting operations, so every session is safe under explore.Config.Prune.
+// repository's agreement objects, simulations and Herlihy-hierarchy
+// objects: the one place where each scenario's exhaustive-exploration
+// harness (process bodies + property checker + fingerprint) is defined.
+// Every scenario registers itself with the spec registry
+// (internal/explore/spec) from an init func — specs.go declares the
+// agreement/simulation scenarios, objects.go the object-layer ones — and
+// cmd/explore, cmd/benchexplore, the E16 experiment rows and the spectest
+// conformance suite all resolve the harnesses through that registry.
+// Checkers are insensitive to the order of commuting operations, so every
+// session is safe under explore.Config.Prune.
 package sessions
 
 import (

@@ -1,0 +1,327 @@
+// Package spec is the registry-driven model-spec API of the exhaustive
+// explorer: every checkable scenario — an agreement object, a simulation, a
+// Herlihy-hierarchy object under a safety property — is a self-describing
+// Spec with typed parameter domains, and every consumer (cmd/explore,
+// cmd/benchexplore, the E16 experiment rows, the spectest conformance suite)
+// resolves scenarios exclusively through the package-level registry.
+//
+// A scenario is one Decl passed to Register, typically from an init func of
+// the package that implements its harness:
+//
+//	spec.Register(spec.Decl{
+//	        Name: "testandset",
+//	        Doc:  "one-shot test&set: winner uniqueness on every schedule",
+//	        Params: []spec.Param{
+//	                {Name: "n", Doc: "competing processes", Default: 3, Min: 1, Max: spec.NoMax},
+//	        },
+//	        New:   func(p spec.Params) explore.Session { ... },
+//	        Dedup: true, Prune: true,
+//	})
+//
+// Consumers look scenarios up by name (Lookup) or enumerate them (All),
+// expand user-supplied value grids against the declared domains (Grid),
+// and run them (Factory + Config feed explore.ExploreSession /
+// explore.ExploreParallel). The spectest package holds the conformance suite
+// every registered spec must pass.
+package spec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"mpcn/internal/explore"
+)
+
+// NoMax marks a Param with no static upper bound (the practical bound is the
+// exploration blow-up, not the domain).
+const NoMax = math.MaxInt
+
+// Names of the two engine-level parameters every registered spec declares
+// automatically (unless its Decl overrides them with tighter domains): they
+// bound the exploration rather than configure the object, and Config
+// extracts them into explore.Config.
+const (
+	ParamCrashes = "crashes" // explore.Config.MaxCrashes
+	ParamSteps   = "steps"   // explore.Config.MaxSteps; 0 = engine default
+)
+
+// Param is one integer parameter domain of a Spec: its name, a one-line doc,
+// the default value, and the inclusive valid range.
+type Param struct {
+	Name    string
+	Doc     string
+	Default int
+	Min     int
+	Max     int // NoMax = no static upper bound
+}
+
+// Range renders the valid range ("1..n of ∞" style) for -list output.
+func (p Param) Range() string {
+	if p.Max == NoMax {
+		return fmt.Sprintf("%d..∞", p.Min)
+	}
+	return fmt.Sprintf("%d..%d", p.Min, p.Max)
+}
+
+// Params is a resolved parameter assignment, name → value. Resolve fills
+// defaults and validates domains; Spec.New requires a resolved assignment.
+type Params map[string]int
+
+// Clone returns a copy of p.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders the assignment canonically, sorted by name.
+func (p Params) String() string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%d", k, p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Spec is a self-describing, parameterized, explorable scenario: a harness
+// (process bodies + property checker + optional state fingerprint) over a
+// declared parameter domain. Implementations are normally Decls passed to
+// Register; the interface exists so consumers and the conformance suite stay
+// implementation-agnostic.
+type Spec interface {
+	// Name is the registry key, a short lowercase identifier.
+	Name() string
+	// Doc is the one-line description (-list, experiment rows).
+	Doc() string
+	// Params declares the parameter domains, including the engine-level
+	// crashes/steps params, sorted by name.
+	Params() []Param
+	// New builds a fresh, worker-private exploration harness for a resolved
+	// parameter assignment. Callers must resolve p first (Resolve or Grid);
+	// New may panic on unresolved or out-of-domain assignments.
+	New(p Params) explore.Session
+	// SupportsDedup reports whether New's sessions carry a Fingerprint, i.e.
+	// whether explore.Config.Dedup is usable.
+	SupportsDedup() bool
+	// SupportsPrune reports whether the checker is insensitive to the order
+	// of commuting operations, i.e. whether explore.Config.Prune is sound.
+	SupportsPrune() bool
+}
+
+// Validator is the optional cross-parameter constraint hook: Resolve calls
+// it after the per-Param range checks. Decls install it via Decl.Validate.
+type Validator interface {
+	Validate(p Params) error
+}
+
+// Bounder is the optional unbounded-tree marker interface; Unbounded is the
+// accessor consumers should use.
+type Bounder interface {
+	Unbounded() bool
+}
+
+// Unbounded reports whether a spec declares that its decision tree cannot
+// be exhausted at any feasible run budget (Decl.Unbounded — the BG
+// simulation). Consumers use it to select bounded-smoke mode (cap MaxRuns,
+// accept exhausted=false) instead of special-casing spec names.
+func Unbounded(s Spec) bool {
+	b, ok := s.(Bounder)
+	return ok && b.Unbounded()
+}
+
+// Decl declares a Spec for Register. Name, Doc and New are required; Params
+// lists the object-level domains (the crashes/steps engine params are
+// appended automatically when absent); Validate adds cross-parameter
+// constraints (e.g. x <= n); Dedup/Prune are the capability flags surfaced
+// as SupportsDedup/SupportsPrune.
+type Decl struct {
+	Name     string
+	Doc      string
+	Params   []Param
+	New      func(p Params) explore.Session
+	Validate func(p Params) error
+	Dedup    bool
+	Prune    bool
+	// Unbounded marks scenarios whose full decision tree no feasible run
+	// budget can exhaust (the BG simulation): consumers run them as bounded
+	// smokes and accept exhausted=false. See the package-level Unbounded.
+	Unbounded bool
+}
+
+// decl adapts a Decl to the Spec interface.
+type decl struct {
+	d      Decl
+	params []Param // Decl.Params + engine params, sorted by name
+}
+
+func newDecl(d Decl) (decl, error) {
+	if d.Name == "" {
+		return decl{}, fmt.Errorf("spec: Decl without a Name")
+	}
+	if d.New == nil {
+		return decl{}, fmt.Errorf("spec %q: Decl without a New", d.Name)
+	}
+	if d.Doc == "" {
+		return decl{}, fmt.Errorf("spec %q: Decl without a Doc line", d.Name)
+	}
+	params := append([]Param(nil), d.Params...)
+	have := make(map[string]bool, len(params)+2)
+	for _, p := range params {
+		if have[p.Name] {
+			return decl{}, fmt.Errorf("spec %q: duplicate param %q", d.Name, p.Name)
+		}
+		have[p.Name] = true
+	}
+	if !have[ParamCrashes] {
+		params = append(params, Param{
+			Name: ParamCrashes, Doc: "max crashes injected per run",
+			Default: 0, Min: 0, Max: NoMax,
+		})
+	}
+	if !have[ParamSteps] {
+		params = append(params, Param{
+			Name: ParamSteps, Doc: "per-run step budget (0 = engine default)",
+			Default: 0, Min: 0, Max: NoMax,
+		})
+	}
+	for _, p := range params {
+		if p.Min > p.Max {
+			return decl{}, fmt.Errorf("spec %q: param %q has empty range %s", d.Name, p.Name, p.Range())
+		}
+		if p.Default < p.Min || p.Default > p.Max {
+			return decl{}, fmt.Errorf("spec %q: param %q default %d outside %s", d.Name, p.Name, p.Default, p.Range())
+		}
+	}
+	sort.Slice(params, func(i, j int) bool { return params[i].Name < params[j].Name })
+	return decl{d: d, params: params}, nil
+}
+
+func (s decl) Name() string                 { return s.d.Name }
+func (s decl) Doc() string                  { return s.d.Doc }
+func (s decl) Params() []Param              { return append([]Param(nil), s.params...) }
+func (s decl) New(p Params) explore.Session { return s.d.New(p) }
+func (s decl) SupportsDedup() bool          { return s.d.Dedup }
+func (s decl) SupportsPrune() bool          { return s.d.Prune }
+func (s decl) Unbounded() bool              { return s.d.Unbounded }
+func (s decl) Validate(p Params) error {
+	if s.d.Validate == nil {
+		return nil
+	}
+	return s.d.Validate(p)
+}
+
+// paramNames lists a spec's parameter names, sorted.
+func paramNames(s Spec) []string {
+	ps := s.Params()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Resolve completes and validates a parameter assignment against s's
+// declared domains: absent params take their defaults, unknown names and
+// out-of-range values error, and the spec's cross-parameter Validator (if
+// any) runs last. The input map is not modified.
+func Resolve(s Spec, p Params) (Params, error) {
+	out := make(Params, len(p))
+	declared := make(map[string]bool)
+	for _, d := range s.Params() {
+		declared[d.Name] = true
+		v, ok := p[d.Name]
+		if !ok {
+			v = d.Default
+		}
+		if v < d.Min || v > d.Max {
+			return nil, fmt.Errorf("spec %q: param %s=%d outside %s", s.Name(), d.Name, v, d.Range())
+		}
+		out[d.Name] = v
+	}
+	for name := range p {
+		if !declared[name] {
+			return nil, fmt.Errorf("spec %q has no parameter %q (parameters: %s)",
+				s.Name(), name, strings.Join(paramNames(s), ", "))
+		}
+	}
+	if v, ok := s.(Validator); ok {
+		if err := v.Validate(out); err != nil {
+			return nil, fmt.Errorf("spec %q: %w", s.Name(), err)
+		}
+	}
+	return out, nil
+}
+
+// Grid expands per-parameter value lists into the cartesian product of
+// resolved assignments: parameters absent from grids take their single
+// default value, every assignment is validated via Resolve, and the cells
+// come out in odometer order over the spec's (name-sorted) parameters.
+func Grid(s Spec, grids map[string][]int) ([]Params, error) {
+	declared := s.Params()
+	have := make(map[string]bool, len(declared))
+	for _, d := range declared {
+		have[d.Name] = true
+	}
+	for name := range grids {
+		if !have[name] {
+			return nil, fmt.Errorf("spec %q has no parameter %q (parameters: %s)",
+				s.Name(), name, strings.Join(paramNames(s), ", "))
+		}
+	}
+	cells := []Params{{}}
+	for _, d := range declared {
+		vals, ok := grids[d.Name]
+		if !ok || len(vals) == 0 {
+			vals = []int{d.Default}
+		}
+		next := make([]Params, 0, len(cells)*len(vals))
+		for _, cell := range cells {
+			for _, v := range vals {
+				c := cell.Clone()
+				c[d.Name] = v
+				next = append(next, c)
+			}
+		}
+		cells = next
+	}
+	out := make([]Params, 0, len(cells))
+	for _, c := range cells {
+		r, err := Resolve(s, c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Factory adapts a resolved assignment to the per-worker session factory the
+// explore engines consume: every call of the returned func builds a fresh,
+// worker-private harness via s.New.
+func Factory(s Spec, p Params) func() explore.Session {
+	return func() explore.Session { return s.New(p) }
+}
+
+// Config folds the engine-level params of a resolved assignment into base
+// (crashes → MaxCrashes, steps → MaxSteps when non-zero) and enforces the
+// capability flags: requesting Dedup from a spec without a fingerprint
+// fails up front with explore.ErrNoFingerprint tagged with the spec name.
+func Config(s Spec, p Params, base explore.Config) (explore.Config, error) {
+	base.MaxCrashes = p[ParamCrashes]
+	if v := p[ParamSteps]; v > 0 {
+		base.MaxSteps = v
+	}
+	if base.Dedup && !s.SupportsDedup() {
+		return base, fmt.Errorf("spec %q: %w", s.Name(), explore.ErrNoFingerprint)
+	}
+	return base, nil
+}

@@ -1,0 +1,42 @@
+package spectest_test
+
+import (
+	"testing"
+
+	"mpcn/internal/explore/spec"
+	"mpcn/internal/explore/spectest"
+
+	// Register every built-in scenario: the suite runs against spec.All().
+	_ "mpcn/internal/explore/sessions"
+)
+
+// options returns the per-spec conformance bounds. Everything runs with the
+// defaults except specs that declare their tree uncoverable (spec.Unbounded
+// — the BG simulation): those run as bounded smokes with a small step
+// budget (the determinism obligations still apply; outcome-set equality
+// needs exhaustion).
+func options(s spec.Spec) spectest.Options {
+	if spec.Unbounded(s) {
+		return spectest.Options{
+			MaxRuns: 300,
+			Crashes: []int{0},
+			Params:  spec.Params{spec.ParamSteps: 400},
+		}
+	}
+	return spectest.Options{}
+}
+
+// TestConformanceAllSpecs runs the conformance suite over every registered
+// spec — the gate that makes a new scenario one file plus spec.Register.
+func TestConformanceAllSpecs(t *testing.T) {
+	all := spec.All()
+	if len(all) < 11 {
+		t.Fatalf("only %d registered specs; the five migrated harnesses plus six object scenarios should be present", len(all))
+	}
+	for _, s := range all {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			spectest.Conformance(t, s, options(s))
+		})
+	}
+}

@@ -63,6 +63,11 @@ func (t *TestAndSet) Fingerprint(h *sched.FP) {
 	h.Bool(t.set)
 }
 
+// IsSet reports whether the object has been won. It is a harness/checker-side
+// accessor: it takes no scheduling step and must not be called from process
+// bodies mid-run.
+func (t *TestAndSet) IsSet() bool { return t.set }
+
 // TestAndSet atomically sets the object and reports whether the caller won.
 func (t *TestAndSet) TestAndSet(e *sched.Env) bool {
 	e.StepL(t.tasL)
@@ -106,6 +111,14 @@ func (q *Queue[T]) Fingerprint(h *sched.FP) {
 	for i := range q.items {
 		h.Value(q.items[i])
 	}
+}
+
+// Items returns a copy of the queued items, front first. It is a
+// harness/checker-side accessor (e.g. for element-conservation checks): it
+// takes no scheduling step and must not be called from process bodies
+// mid-run.
+func (q *Queue[T]) Items() []T {
+	return append([]T(nil), q.items...)
 }
 
 // Dequeue atomically removes and returns the front item; ok is false when
@@ -159,6 +172,14 @@ func (s *Stack[T]) Fingerprint(h *sched.FP) {
 	}
 }
 
+// Items returns a copy of the stacked items, bottom first. It is a
+// harness/checker-side accessor (e.g. for element-conservation checks): it
+// takes no scheduling step and must not be called from process bodies
+// mid-run.
+func (s *Stack[T]) Items() []T {
+	return append([]T(nil), s.items...)
+}
+
 // Pop atomically removes and returns the top item; ok is false when the
 // stack is empty.
 func (s *Stack[T]) Pop(e *sched.Env) (v T, ok bool) {
@@ -198,6 +219,11 @@ func (c *CompareAndSwap[T]) Read(e *sched.Env) T {
 	sched.Observe(e, c.v)
 	return c.v
 }
+
+// Value returns the register's current content. It is a harness/checker-side
+// accessor (e.g. for lost-update checks): it takes no scheduling step and
+// must not be called from process bodies mid-run — bodies read via Read.
+func (c *CompareAndSwap[T]) Value() T { return c.v }
 
 // Fingerprint implements sched.Fingerprinter.
 func (c *CompareAndSwap[T]) Fingerprint(h *sched.FP) {

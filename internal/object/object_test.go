@@ -261,3 +261,45 @@ func TestMLSetAgreementInvalidParams(t *testing.T) {
 		}()
 	}
 }
+
+// TestCheckerSideAccessors covers the no-step accessors the exploration
+// checkers read after a run completes: IsSet, Items (queue and stack, as
+// copies) and Value.
+func TestCheckerSideAccessors(t *testing.T) {
+	ts := NewTestAndSet("ts")
+	if ts.IsSet() {
+		t.Fatal("fresh test&set reports set")
+	}
+	q := NewQueue[int]("q", 1, 2)
+	s := NewStack[int]("s")
+	c := NewCompareAndSwap[int]("c", 7)
+	runOne(t, func(e *sched.Env) {
+		ts.TestAndSet(e)
+		q.Enqueue(e, 3)
+		q.Dequeue(e)
+		s.Push(e, 4)
+		s.Push(e, 5)
+		c.CompareAndSwap(e, 7, 9)
+		e.Decide(0)
+	})
+	if !ts.IsSet() {
+		t.Fatal("won test&set reports unset")
+	}
+	qi := q.Items()
+	if len(qi) != 2 || qi[0] != 2 || qi[1] != 3 {
+		t.Fatalf("queue Items = %v, want [2 3]", qi)
+	}
+	si := s.Items()
+	if len(si) != 2 || si[0] != 4 || si[1] != 5 {
+		t.Fatalf("stack Items = %v, want [4 5]", si)
+	}
+	if got := c.Value(); got != 9 {
+		t.Fatalf("cas Value = %d, want 9", got)
+	}
+	// Items returns copies: mutating them must not corrupt the objects.
+	qi[0] = 99
+	si[0] = 99
+	if q.Items()[0] != 2 || s.Items()[0] != 4 {
+		t.Fatal("Items aliases internal state")
+	}
+}
