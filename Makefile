@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json explore-smoke spec-conformance experiments docs-check
+.PHONY: build vet test bench bench-json explore-smoke sample-smoke spec-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,18 @@ explore-smoke: build
 	$(GO) run ./cmd/explore -object queue -n 3 -set ops=1 -crashes 0,1 -maxruns 20000 -dedup
 	$(GO) run ./cmd/explore -object xcompete -n 3 -x 2 -crashes 1 -maxruns 5000 -prune -dedup
 	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -maxruns 2000
+	$(GO) run ./cmd/simrun -sim forward -n 4 -t1 3 -x1 2 -t2 1 -trace 5
+	$(GO) run ./cmd/simrun -sim bg -n 4 -t1 1 -seed 7
+
+# Bounded seeded schedule-sampling smoke: one PCT pass over EVERY registered
+# spec (including BG, which exhaustive smokes can only truncate) at each
+# spec's declared sampling budget, capped by -samples. Deterministic under
+# the fixed seed; any property violation prints the reproducing script and
+# (seed, index) pair.
+sample-smoke: build
+	$(GO) run ./cmd/explore -sample pct -allspecs -samples 2000 -seed 1
+	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -crashes 1 -sample swarm -samples 500 -seed 1
+	$(GO) run ./cmd/explore -object commitadopt -n 3 -crashes 1 -sample walk -samples 2000 -seed 1
 
 # Docs/health gate (CI's docs job): formatting must be clean, vet must pass,
 # and every relative link in README.md and docs/*.md must resolve.

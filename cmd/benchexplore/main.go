@@ -12,6 +12,14 @@
 // with a note: a throughput number is only meaningful for a completed state
 // space.
 //
+// Every registered spec additionally contributes a schedule-sampling series
+// (engine "sample-pct"): a seeded PCT run at the spec's declared sampling
+// budget recording samples/sec and the distinct-state coverage curve. The
+// sampling series is the one series present for EVERY spec — including the
+// exhaustion-skipped BG simulation, whose sampling cell is its only
+// recorded trajectory — and the run fails if any registered spec is missing
+// one (the sampling presence gate).
+//
 // Every tree-walking cell asserts the engines visited identical state spaces
 // before reporting, so a number in the file is also a passed determinism
 // check. The dedup cells assert the exhaustion verdict is unchanged and that
@@ -21,7 +29,7 @@
 //
 // Usage:
 //
-//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000]
+//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000] [-samples 4000]
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"time"
 
 	"mpcn/internal/explore"
+	"mpcn/internal/explore/sample"
 	"mpcn/internal/explore/spec"
 
 	// Register the built-in scenarios.
@@ -64,6 +73,12 @@ type Record struct {
 	DedupStates int64   `json:"dedup_states,omitempty"`
 	DedupHits   int64   `json:"dedup_hits,omitempty"`
 	ReductionX  float64 `json:"reduction_x,omitempty"`
+	// Sampling-engine extras (engine "sample-pct"): sampled runs, sampling
+	// throughput, the distinct-state estimate and its growth curve.
+	Samples        int                    `json:"samples,omitempty"`
+	SamplesPerSec  float64                `json:"samples_per_sec,omitempty"`
+	DistinctStates int64                  `json:"distinct_states,omitempty"`
+	CoverageSeries []sample.CoveragePoint `json:"coverage_series,omitempty"`
 }
 
 // Report is the file layout of BENCH_explore.json.
@@ -81,8 +96,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel worker-pool size (<= 0 selects the default)")
 	reps := flag.Int("reps", 3, "repetitions per cell; the best rep is reported")
 	probe := flag.Int("probe", 20000, "exhaustibility probe: skip sweeps that exceed this many runs")
+	samples := flag.Int("samples", 4000, "sampling-series budget per spec (specs may declare smaller)")
 	flag.Parse()
-	if err := run(*out, *workers, *reps, *probe); err != nil {
+	if err := run(*out, *workers, *reps, *probe, *samples); err != nil {
 		fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
 		os.Exit(1)
 	}
@@ -108,7 +124,7 @@ func sweeps() ([]sweep, error) {
 	return out, nil
 }
 
-func run(out string, workers, reps, probe int) error {
+func run(out string, workers, reps, probe, samples int) error {
 	if workers <= 0 {
 		workers = explore.DefaultWorkers()
 	}
@@ -193,6 +209,14 @@ func run(out string, workers, reps, probe int) error {
 	if bestReduction < 2 {
 		return fmt.Errorf("dedup regression: best runs-explored reduction %.2fx < 2x", bestReduction)
 	}
+	sampled, err := sampleSeries(workers, samples)
+	if err != nil {
+		return err
+	}
+	report.Records = append(report.Records, sampled...)
+	if err := sampledSpecsPresent(report.Records); err != nil {
+		return err
+	}
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -204,6 +228,88 @@ func run(out string, workers, reps, probe int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// sampleSeries records one seeded PCT sampling cell per registered spec —
+// including specs the exhaustibility probe skips (the BG simulation), for
+// which this is the only recorded trajectory. The cell runs at the spec's
+// declared sampling budget (capped by -samples) with a single-crash budget
+// and the distinct-state coverage estimator on.
+func sampleSeries(workers, samples int) ([]Record, error) {
+	var out []Record
+	for _, s := range spec.All() {
+		// A single-crash budget, clamped to the spec's declared crashes
+		// domain (Decls may tighten the auto-declared engine params).
+		crashes := 1
+		for _, d := range s.Params() {
+			if d.Name == spec.ParamCrashes {
+				if crashes > d.Max {
+					crashes = d.Max
+				}
+				if crashes < d.Min {
+					crashes = d.Min
+				}
+			}
+		}
+		p, err := spec.Resolve(s, spec.Params{spec.ParamCrashes: crashes})
+		if err != nil {
+			return nil, fmt.Errorf("%s (sampling): %w", s.Name(), err)
+		}
+		cfg := sample.Config{
+			Samples:     samples,
+			Seed:        1,
+			MaxCrashes:  crashes,
+			MaxSteps:    p[spec.ParamSteps],
+			Depth:       s.Sampling().Depth,
+			Workers:     workers,
+			Coverage:    true,
+			Checkpoints: 8,
+		}
+		if b := s.Sampling().Budget; b > 0 && b < cfg.Samples {
+			cfg.Samples = b
+		}
+		if spec.Unbounded(s) && cfg.MaxSteps <= 0 {
+			// Unbounded trees walk to the engine's step default on most
+			// schedules; bound the per-run length so the series stays cheap.
+			cfg.MaxSteps = 800
+		}
+		st, err := sample.RunParallel(spec.Factory(s, p), sample.StrategyPCT, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/sample-pct: %w", s.Name(), err)
+		}
+		rec := Record{
+			Sweep:          s.Name() + "/sample",
+			Spec:           s.Name(),
+			Params:         p.String(),
+			Engine:         "sample-pct",
+			ElapsedSec:     st.Elapsed.Seconds(),
+			Samples:        st.Samples,
+			SamplesPerSec:  st.SamplesPerSec(),
+			DistinctStates: st.Distinct,
+			CoverageSeries: st.Series,
+		}
+		fmt.Printf("%-28s %-26s %8d samples %8.0f samples/sec %8d distinct states\n",
+			rec.Sweep, rec.Engine, rec.Samples, rec.SamplesPerSec, rec.DistinctStates)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// sampledSpecsPresent is the sampling presence gate: every registered spec
+// must carry a sampling series with a non-empty coverage curve.
+func sampledSpecsPresent(records []Record) error {
+	have := make(map[string]bool)
+	for _, r := range records {
+		if strings.HasPrefix(r.Engine, "sample-") && r.Samples > 0 && len(r.CoverageSeries) > 0 {
+			have[r.Spec] = true
+		}
+	}
+	for _, s := range spec.All() {
+		if !have[s.Name()] {
+			return fmt.Errorf("sampling gate: spec %q has no sampling series", s.Name())
+		}
+	}
+	return nil
 }
 
 // measure runs one (sweep, engine) cell reps times and returns the fastest

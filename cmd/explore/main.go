@@ -1,7 +1,11 @@
-// Command explore runs the exhaustive model checker over grids of bounded
-// configurations: every schedule (and optionally every crash placement) of
-// the selected scenario is enumerated and its safety properties are checked,
-// turning the repository's sampled sweeps into per-configuration proofs.
+// Command explore runs the model checker over grids of bounded
+// configurations. By default it is exhaustive: every schedule (and
+// optionally every crash placement) of the selected scenario is enumerated
+// and its safety properties are checked, turning the repository's sampled
+// sweeps into per-configuration proofs. With -sample it switches to the
+// probabilistic engine: seeded random schedules (uniform walk, PCT or swarm
+// mixing) drawn from the same decision tree — the way into state spaces the
+// exhaustive walker cannot enumerate (the BG simulation, large grid cells).
 //
 // Scenarios are resolved through the spec registry (internal/explore/spec):
 // every registered spec is a self-describing harness with typed parameter
@@ -17,19 +21,23 @@
 //	explore -object queue       -n 3 -set ops=1,2 -crashes 1 -dedup
 //	explore -object bg          -n 2,3 -t 1 -maxruns 20000
 //	explore -object registers   -n 3 -prune -compare
+//	explore -object bg          -n 3 -t 1 -sample pct -samples 5000 -depth 8 -seed 7
+//	explore -object commitadopt -n 4 -crashes 1 -sample swarm -samples 20000
+//	explore -sample pct -allspecs -samples 2000 -seed 1
 //
 // Grid flags (-n, -x, -t, -crashes, -steps, -probes) accept comma-separated
 // value lists and sweep their cartesian product; parameters the spec does
-// not declare are rejected when set explicitly. -set name=v1,v2 addresses
-// any declared parameter by name (repeatable), so scenario-specific domains
-// (ops, writes, retries, ...) need no dedicated flag. Each grid cell prints
-// the visited-run count, pruned branches, tree depth, throughput and the
-// exhaustion verdict; any property violation aborts with the reproducing
-// decision script.
+// not declare are rejected when set explicitly — the rejection names the
+// offending parameter and prints the spec's declared domains. -set
+// name=v1,v2 addresses any declared parameter by name (repeatable), so
+// scenario-specific domains (ops, writes, retries, ...) need no dedicated
+// flag. Each grid cell prints the visited-run count, pruned branches, tree
+// depth, throughput and the exhaustion verdict; any property violation
+// aborts with the reproducing decision script.
 //
 // The BG simulation's decision tree is astronomically deep even for tiny
 // configurations: bound it with -maxruns (the run is then a coverage smoke,
-// reported as exhausted=false) or keep n and t minimal.
+// reported as exhausted=false), keep n and t minimal — or switch to -sample.
 //
 // -compare additionally runs the sequential explorer on every cell and
 // verifies that the parallel engine visited the identical state space — the
@@ -40,6 +48,15 @@
 // false in -list) reject it up front. Under -dedup the parallel engine's
 // visited-run count depends on worker timing, so -compare only verifies the
 // exhaustion verdict and reports the sequential run count alongside.
+//
+// -sample pct|walk|swarm draws -samples seeded runs per grid cell instead of
+// enumerating (crash budgets still come from -crashes; -depth sets the PCT
+// depth d, -seed the stream seed). Sample i is a pure function of (seed, i),
+// so a violating sample prints the reproducing decision script exactly like
+// the exhaustive engine, plus its (seed, index) pair. Each cell reports
+// samples/sec and the distinct-state coverage estimate; -allspecs sweeps
+// every registered spec at its declared defaults and sampling budget (the
+// CI sample-smoke mode).
 package main
 
 import (
@@ -52,6 +69,7 @@ import (
 	"strings"
 
 	"mpcn/internal/explore"
+	"mpcn/internal/explore/sample"
 	"mpcn/internal/explore/spec"
 
 	// Register the built-in scenarios.
@@ -74,6 +92,11 @@ type options struct {
 	compare  bool
 	seq      bool
 	respawn  bool
+	sample   string
+	samples  int
+	depth    int
+	seed     int64
+	allSpecs bool
 }
 
 // setFlags collects repeatable -set name=v1,v2 assignments.
@@ -108,6 +131,11 @@ func run(args []string, out io.Writer) int {
 	fs.BoolVar(&o.compare, "compare", false, "verify the parallel run count against the sequential explorer")
 	fs.BoolVar(&o.seq, "seq", false, "use the sequential explorer only")
 	fs.BoolVar(&o.respawn, "respawn", false, "respawn the scheduler per run (pre-session baseline; for comparisons)")
+	fs.StringVar(&o.sample, "sample", "", "sampling strategy: pct|walk|swarm (empty = exhaustive exploration)")
+	fs.IntVar(&o.samples, "samples", 10000, "sampled runs per grid cell (with -sample)")
+	fs.IntVar(&o.depth, "depth", 0, "PCT depth d: d-1 priority-change points per run (0 = spec/engine default)")
+	fs.Int64Var(&o.seed, "seed", 1, "base seed of the sampled schedule stream")
+	fs.BoolVar(&o.allSpecs, "allspecs", false, "with -sample: sweep every registered spec at its declared defaults and sampling budget")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -119,12 +147,17 @@ func run(args []string, out io.Writer) int {
 	// spec is never asked to validate the unrelated defaults of another
 	// spec's convenience flags.
 	o.grids = map[string][]int{}
+	explicit := map[string]bool{}
 	var err error
 	fs.Visit(func(f *flag.Flag) {
+		explicit[f.Name] = true
 		if p, ok := named[f.Name]; ok && err == nil {
 			err = addGrid(o.grids, f.Name, *p)
 		}
 	})
+	if err == nil {
+		err = rejectInapplicableFlags(o, explicit, len(sets) > 0)
+	}
 	if err == nil {
 		for _, assign := range sets {
 			name, vals, ok := strings.Cut(assign, "=")
@@ -141,15 +174,79 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
 		return 2
 	}
-	if err := sweep(o, out); err != nil {
+	if err := dispatch(o, out); err != nil {
 		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+		var paramErr *spec.ParamError
+		if errors.As(err, &paramErr) {
+			printDomains(os.Stderr, paramErr)
+		}
 		var pe *explore.PropertyError
 		if errors.As(err, &pe) {
 			fmt.Fprintf(os.Stderr, "replay script:\n  %s\n", strings.Join(pe.Script, "\n  "))
 		}
+		var se *sample.SampleError
+		if errors.As(err, &se) {
+			fmt.Fprintf(os.Stderr, "reproduce with: -sample %s -seed %d (violating sample index %d)\n",
+				se.Strategy, se.Seed, se.Sample)
+		}
 		return 1
 	}
 	return 0
+}
+
+// dispatch routes between the exhaustive and the sampling sweeps.
+func dispatch(o options, out io.Writer) error {
+	if o.allSpecs && o.sample == "" {
+		return errors.New("-allspecs needs -sample (exhaustive all-spec sweeps would not terminate)")
+	}
+	if o.sample != "" {
+		return sampleSweep(o, out)
+	}
+	return sweep(o, out)
+}
+
+// rejectInapplicableFlags fails loudly on flag combinations one engine would
+// otherwise silently ignore: exhaustive-only flags under -sample, and
+// explicit scenario selection or grids under -allspecs (which sweeps every
+// spec at its declared defaults). Silent drops would let the user believe a
+// bound or a grid applied when it did not.
+func rejectInapplicableFlags(o options, explicit map[string]bool, haveSets bool) error {
+	if o.sample != "" {
+		for _, name := range []string{"prune", "dedup", "dedupmem", "maxruns", "compare", "respawn"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s applies to exhaustive exploration only (drop it or drop -sample)", name)
+			}
+		}
+	} else {
+		for _, name := range []string{"samples", "depth", "seed", "allspecs"} {
+			if explicit[name] {
+				return fmt.Errorf("-%s applies to schedule sampling only (add -sample pct|walk|swarm)", name)
+			}
+		}
+	}
+	if o.allSpecs {
+		if explicit["object"] {
+			return errors.New("-allspecs sweeps every registered spec; drop -object (or drop -allspecs to sample one spec)")
+		}
+		if haveSets || len(o.grids) > 0 {
+			return errors.New("-allspecs samples every spec at its declared defaults; grid flags and -set need a single -object")
+		}
+	}
+	return nil
+}
+
+// printDomains renders the rejected parameter's declared domain — or, for an
+// unknown name, every domain the spec declares — in the -list syntax, so the
+// user can correct the invocation without a second lookup.
+func printDomains(out io.Writer, e *spec.ParamError) {
+	if !e.Unknown {
+		fmt.Fprintf(out, "declared domain:\n  -set %s=%d  [%s]  %s\n", e.Decl.Name, e.Decl.Default, e.Decl.Range(), e.Decl.Doc)
+		return
+	}
+	fmt.Fprintf(out, "declared parameters of %s:\n", e.Spec)
+	for _, d := range e.Declared {
+		fmt.Fprintf(out, "  -set %s=%d  [%s]  %s\n", d.Name, d.Default, d.Range(), d.Doc)
+	}
 }
 
 func addGrid(grids map[string][]int, name, vals string) error {
@@ -195,6 +292,9 @@ func printList(out io.Writer) {
 		}
 		fmt.Fprintf(out, "\n%s — %s\n", s.Name(), s.Doc())
 		fmt.Fprintf(out, "  supports: %s\n", strings.Join(caps, ", "))
+		if sm := s.Sampling(); sm != (spec.Sampling{}) {
+			fmt.Fprintf(out, "  sampling: budget=%d depth=%d\n", sm.Budget, sm.Depth)
+		}
 		for _, p := range s.Params() {
 			fmt.Fprintf(out, "  -set %s=%d  [%s]  %s\n", p.Name, p.Default, p.Range(), p.Doc)
 		}
@@ -264,6 +364,86 @@ func sweep(o options, out io.Writer) error {
 			fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s sequential check OK\n",
 				"  (sequential)", seq.Runs, seq.Pruned, seq.MaxDepth, seq.RunsPerSec(),
 				seq.Elapsed.Round(seq.Elapsed/100+1))
+		}
+	}
+	return nil
+}
+
+// sampleSweep runs the probabilistic engine over the selected spec's grid
+// cells (or, with -allspecs, over every registered spec at its declared
+// defaults and sampling budget).
+func sampleSweep(o options, out io.Writer) error {
+	var specs []spec.Spec
+	if o.allSpecs {
+		specs = spec.All()
+	} else {
+		s, err := spec.Lookup(o.object)
+		if err != nil {
+			return err
+		}
+		specs = []spec.Spec{s}
+	}
+	fmt.Fprintf(out, "schedule sampling: strategy=%s samples=%d seed=%d workers=%d\n",
+		o.sample, o.samples, o.seed, o.workers)
+	fmt.Fprintf(out, "%-40s %10s %10s %6s %12s %10s %s\n",
+		"configuration", "samples", "distinct", "depth", "samples/sec", "elapsed", "verdict")
+	for _, s := range specs {
+		grids := o.grids
+		if o.allSpecs {
+			grids = nil // declared defaults only; grid flags may not apply to every spec
+		}
+		cells, err := spec.Grid(s, grids)
+		if err != nil {
+			return err
+		}
+		for _, p := range cells {
+			cfg := sample.Config{
+				Samples:    o.samples,
+				Seed:       o.seed,
+				MaxCrashes: p[spec.ParamCrashes],
+				MaxSteps:   p[spec.ParamSteps],
+				Depth:      o.depth,
+				Workers:    o.workers,
+				Coverage:   true,
+			}
+			if cfg.Depth <= 0 {
+				cfg.Depth = s.Sampling().Depth
+			}
+			if o.allSpecs {
+				if b := s.Sampling().Budget; b > 0 && b < cfg.Samples {
+					cfg.Samples = b
+				}
+				// Unbounded trees walk to the engine's step default on most
+				// schedules; bound the smoke's runs so -allspecs stays quick.
+				if spec.Unbounded(s) && cfg.MaxSteps <= 0 {
+					cfg.MaxSteps = 800
+				}
+			}
+			var stats sample.Stats
+			if o.seq {
+				stats, err = sample.Run(s.New(p), o.sample, cfg)
+			} else {
+				stats, err = sample.RunParallel(spec.Factory(s, p), o.sample, cfg)
+			}
+			if err != nil {
+				return fmt.Errorf("spec %q %v: %w", s.Name(), p, err)
+			}
+			label := fmt.Sprintf("%s %v", s.Name(), p)
+			fmt.Fprintf(out, "%-40s %10d %10d %6d %12.0f %10s SAMPLED\n",
+				label, stats.Samples, stats.Distinct, stats.MaxDepth, stats.SamplesPerSec(),
+				stats.Elapsed.Round(stats.Elapsed/100+1))
+			if stats.PCTBound > 0 {
+				d := cfg.Depth
+				if d <= 0 {
+					d = sample.DefaultDepth
+				}
+				k := cfg.MaxSteps
+				if k <= 0 {
+					k = sample.DefaultMaxSteps
+				}
+				fmt.Fprintf(out, "%-40s per-run depth-%d bug bound >= %.3g (n=%d, k=%d; observed depth %d — tighten -steps toward it to sharpen placement and bound)\n",
+					"  (pct)", d, stats.PCTBound, stats.Procs, k, stats.MaxDepth)
+			}
 		}
 	}
 	return nil

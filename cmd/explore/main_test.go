@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
@@ -139,6 +140,113 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSampleSweep: -sample runs the probabilistic engine per grid cell and
+// reports samples, distinct-state coverage and throughput; the PCT variant
+// also surfaces the depth-d bound.
+func TestSampleSweep(t *testing.T) {
+	cases := []struct {
+		name string
+		args string
+		want []string
+	}{
+		{"pct", "-object commitadopt -n 2 -crashes 1 -sample pct -samples 200 -seed 7 -workers 2",
+			[]string{"SAMPLED", "bug bound >=", "       200 "}},
+		{"walk seq", "-object safe -n 2 -sample walk -samples 100 -seq",
+			[]string{"SAMPLED"}},
+		{"swarm on bg", "-object bg -n 2 -t 1 -steps 300 -sample swarm -samples 50 -workers 2",
+			[]string{"SAMPLED", "        50 "}},
+		{"allspecs", "-sample pct -allspecs -samples 30 -workers 2",
+			[]string{"bg ", "commitadopt ", "xsafe ", "SAMPLED"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if code := run(strings.Fields(tc.args), &out); code != 0 {
+				t.Fatalf("exit code %d\n%s", code, out.String())
+			}
+			for _, want := range tc.want {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
+	}
+}
+
+// TestSampleRejectsBadConfigs: unknown strategies, -allspecs without
+// -sample, and flag combinations one engine would silently ignore all exit
+// non-zero before any run — a bound or grid the user asked for either
+// applies or is rejected, never dropped.
+func TestSampleRejectsBadConfigs(t *testing.T) {
+	for _, args := range []string{
+		"-object safe -sample annealing -samples 10",
+		"-allspecs",
+		"-object safe -sample walk -samples 0",
+		"-object safe -sample walk -dedup",      // exhaustive-only flag under -sample
+		"-object safe -sample pct -maxruns 100", // exhaustive-only bound under -sample
+		"-object safe -sample pct -compare",     // exhaustive-only check under -sample
+		"-object safe -samples 100",             // sampling-only flag without -sample
+		"-object safe -seed 3",                  // sampling-only flag without -sample
+		"-sample pct -allspecs -object safe",    // -allspecs with explicit spec
+		"-sample pct -allspecs -crashes 1",      // -allspecs with a grid flag
+		"-sample pct -allspecs -set writes=2",   // -allspecs with -set
+	} {
+		if code := run(strings.Fields(args), io.Discard); code == 0 {
+			t.Errorf("%q accepted", args)
+		}
+	}
+}
+
+// TestParamErrorPrintsDomain: a rejected parameter names the offending
+// parameter and renders its declared domain (for unknown names: every
+// declared domain) — the fix for rejections that lost which param failed.
+func TestParamErrorPrintsDomain(t *testing.T) {
+	s, err := spec.Lookup("xsafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.Resolve(s, spec.Params{"x": 0}); err != nil {
+		var pe *spec.ParamError
+		if !errors.As(err, &pe) || pe.Param != "x" || pe.Unknown || pe.Decl.Doc == "" {
+			t.Fatalf("out-of-range rejection lost its parameter: %#v (%v)", pe, err)
+		}
+		for _, want := range []string{`"xsafe"`, "x=0", "outside", "1..", "consensus number"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("error %q missing %q", err, want)
+			}
+		}
+	} else {
+		t.Fatal("x=0 accepted")
+	}
+	if _, err := spec.Grid(s, map[string][]int{"bogus": {1}}); err != nil {
+		var pe *spec.ParamError
+		if !errors.As(err, &pe) || !pe.Unknown || pe.Param != "bogus" || len(pe.Declared) == 0 {
+			t.Fatalf("unknown-param rejection lost its parameter: %#v (%v)", pe, err)
+		}
+	} else {
+		t.Fatal("bogus param accepted")
+	}
+
+	var buf bytes.Buffer
+	printDomains(&buf, &spec.ParamError{
+		Spec: "xsafe", Param: "x", Value: 0,
+		Decl: spec.Param{Name: "x", Doc: "consensus number", Default: 1, Min: 1, Max: 8},
+	})
+	if !strings.Contains(buf.String(), "-set x=1  [1..8]  consensus number") {
+		t.Errorf("domain rendering: %q", buf.String())
+	}
+	buf.Reset()
+	printDomains(&buf, &spec.ParamError{
+		Spec: "xsafe", Param: "bogus", Unknown: true,
+		Declared: []spec.Param{{Name: "n", Doc: "population", Default: 2, Min: 1, Max: spec.NoMax}},
+	})
+	for _, want := range []string{"declared parameters of xsafe", "-set n=2"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("unknown-param rendering missing %q: %q", want, buf.String())
+		}
+	}
+}
+
 // TestListEnumeratesRegistry: -list prints every registered spec with its
 // parameter domains, defaults, capability flags and doc line.
 func TestListEnumeratesRegistry(t *testing.T) {
@@ -154,10 +262,11 @@ func TestListEnumeratesRegistry(t *testing.T) {
 	}
 	for _, want := range []string{
 		"registered specs (",
-		"supports: prune, dedup", // every fingerprinted scenario
-		"supports: prune\n",      // bg: no dedup
-		"-set n=2  [1..∞]",       // a parameter domain with default and range
-		"-set crashes=0",         // the auto-declared engine params
+		"supports: prune, dedup",        // every fingerprinted scenario
+		"supports: prune\n",             // bg: no dedup
+		"sampling: budget=1500 depth=8", // bg's declared sampling budgets
+		"-set n=2  [1..∞]",              // a parameter domain with default and range
+		"-set crashes=0",                // the auto-declared engine params
 		"-set steps=0",
 	} {
 		if !strings.Contains(text, want) {

@@ -1,7 +1,12 @@
 package main
 
 import (
+	"io"
+	"os"
+	"strings"
 	"testing"
+
+	"mpcn/internal/sched"
 )
 
 func baseOptions() options {
@@ -46,6 +51,17 @@ func TestExecuteAllSimulations(t *testing.T) {
 			o.n, o.x1 = 4, 1
 		}},
 		{"with trace", func(o *options) { o.trace = 5 }},
+		{"colored n2 defaults to n", func(o *options) {
+			o.sim = "colored"
+			o.n, o.t1, o.x1 = 5, 1, 1
+			o.n2, o.t2, o.x2 = 0, 2, 2
+		}},
+		{"direct with trace and steps", func(o *options) {
+			o.sim = "direct"
+			o.n, o.t1, o.x1 = 4, 1, 2
+			o.trace, o.steps = 8, 4096
+		}},
+		{"different seed", func(o *options) { o.seed = 99 }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -76,6 +92,78 @@ func TestExecuteRejectsInvalid(t *testing.T) {
 				t.Fatalf("execute(%+v) should fail", o)
 			}
 		})
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it wrote.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestExecuteReportsWedgedRuns: a tiny step budget wedges the simulation;
+// the report must say so (and the vacuously-valid task still validates).
+func TestExecuteReportsWedgedRuns(t *testing.T) {
+	o := baseOptions()
+	o.sim = "bg"
+	o.t1 = 1
+	o.steps = 3
+	out := captureStdout(t, func() {
+		if err := execute(o); err != nil {
+			t.Errorf("execute(%+v): %v", o, err)
+		}
+	})
+	if !strings.Contains(out, "step budget exhausted") {
+		t.Fatalf("no wedged-run note in:\n%s", out)
+	}
+	if !strings.Contains(out, "VALID") {
+		t.Fatalf("no validation verdict in:\n%s", out)
+	}
+}
+
+// TestPrintHelpers: the outcome table renders decisions and statuses, and
+// the trace printer honours its limit.
+func TestPrintHelpers(t *testing.T) {
+	res := &sched.Result{
+		Outcomes: []sched.Outcome{
+			{Status: sched.StatusDecided, Decided: true, Value: 7, Steps: 3},
+			{Status: sched.StatusCrashed, Steps: 1},
+		},
+		Steps: 4,
+		Trace: []sched.TraceEntry{
+			{Proc: 0, Label: sched.Intern("reg.write")},
+			{Proc: 1, Label: sched.Intern("reg.read")},
+			{Proc: 0, Label: sched.Intern("snap.scan")},
+		},
+	}
+	out := captureStdout(t, func() {
+		printOutcomes(res)
+		printTrace(res, 2)
+		printTrace(res, 0) // disabled: must print nothing
+	})
+	for _, want := range []string{"proc 0: decided", "decision=7", "proc 1: crashed", "decision=-", "reg.write", "q1 reg.read"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "snap.scan") {
+		t.Errorf("trace limit 2 ignored:\n%s", out)
+	}
+	if got := strings.Count(out, "schedule prefix"); got != 1 {
+		t.Errorf("printTrace(0) printed a header (count %d)", got)
 	}
 }
 

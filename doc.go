@@ -23,6 +23,14 @@
 // Dedup requires the harness to supply an explore.Session.Fingerprint; the
 // soundness contract is spelled out in docs/ARCHITECTURE.md.
 //
+// Beyond the exhaustible boundary, internal/explore/sample draws seeded
+// random schedules from the same decision tree (uniform walk, PCT with its
+// 1/(n*k^(d-1)) depth-d bug bound, and swarm strategy mixing): sampled
+// outcomes are provably contained in the exhaustive outcome set, fixed
+// seeds reproduce byte-identical run scripts, and a bounded visited-state
+// store doubles as a distinct-state coverage estimator — the route into the
+// BG simulation and large ASM(n, t, x) cells; see docs/SAMPLING.md.
+//
 // See README.md for the architecture overview (including the exhaustive
 // explorer) and docs/ for the deep dives; cmd/experiments prints the
 // paper-claim vs. measured record (E1..E16). The benchmarks in bench_test.go

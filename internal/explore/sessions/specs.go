@@ -65,7 +65,11 @@ func init() {
 	// fingerprintable yet), so Dedup stays false and spec.Config surfaces
 	// explore.ErrNoFingerprint for -dedup requests. The decision tree is
 	// astronomically deep even at the minimum configuration: drivers bound it
-	// with MaxRuns (coverage smokes report exhausted=false).
+	// with MaxRuns (coverage smokes report exhausted=false). Schedule
+	// sampling is the first-class way in: the Sampling declaration bounds the
+	// smoke/bench budgets (BG runs are hundreds of steps long, so a small
+	// sample count already buys minutes of schedule diversity) and spreads
+	// the PCT change points across the deep runs.
 	spec.Register(spec.Decl{
 		Name: "bg",
 		Doc:  "Borowsky-Gafni simulation: validity + the (t+1)-set bound on simulated decisions",
@@ -73,6 +77,7 @@ func init() {
 			{Name: "n", Doc: "simulated processes", Default: 2, Min: 1, Max: spec.NoMax},
 			{Name: "t", Doc: "resilience (t+1 simulators)", Default: 1, Min: 0, Max: spec.NoMax},
 		},
+		Sampling: spec.Sampling{Budget: 1500, Depth: 8},
 		Validate: func(p spec.Params) error {
 			if p["t"] >= p["n"] {
 				return fmt.Errorf("need 0 <= t < n, got t=%d n=%d", p["t"], p["n"])

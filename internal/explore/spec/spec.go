@@ -92,6 +92,23 @@ func (p Params) String() string {
 	return strings.Join(parts, " ")
 }
 
+// Sampling is a spec's schedule-sampling declaration. Every registered spec
+// is sampleable — the sampling engine (internal/explore/sample) needs
+// nothing beyond Make and Check — so the declaration does not gate the
+// capability; it tunes the budgets consumers apply to bounded sampling runs
+// (`cmd/explore -allspecs`, cmd/benchexplore's sampling series, the
+// sample-smoke CI cells). Zero values defer to consumer/engine defaults.
+type Sampling struct {
+	// Budget is the spec's default sample count for bounded sampling runs
+	// (0 = consumer default). Specs with huge per-run step counts (the BG
+	// simulation) declare smaller budgets so smokes stay fast.
+	Budget int
+	// Depth is the spec's default PCT depth d — d-1 priority-change points
+	// per run (0 = engine default). Deep scenarios declare larger depths so
+	// the change points spread across their longer runs.
+	Depth int
+}
+
 // Spec is a self-describing, parameterized, explorable scenario: a harness
 // (process bodies + property checker + optional state fingerprint) over a
 // declared parameter domain. Implementations are normally Decls passed to
@@ -115,6 +132,8 @@ type Spec interface {
 	// SupportsPrune reports whether the checker is insensitive to the order
 	// of commuting operations, i.e. whether explore.Config.Prune is sound.
 	SupportsPrune() bool
+	// Sampling returns the spec's schedule-sampling budget declaration.
+	Sampling() Sampling
 }
 
 // Validator is the optional cross-parameter constraint hook: Resolve calls
@@ -155,6 +174,9 @@ type Decl struct {
 	// budget can exhaust (the BG simulation): consumers run them as bounded
 	// smokes and accept exhausted=false. See the package-level Unbounded.
 	Unbounded bool
+	// Sampling declares the spec's schedule-sampling budgets (zero values
+	// defer to consumer/engine defaults; negative values are rejected).
+	Sampling Sampling
 }
 
 // decl adapts a Decl to the Spec interface.
@@ -172,6 +194,9 @@ func newDecl(d Decl) (decl, error) {
 	}
 	if d.Doc == "" {
 		return decl{}, fmt.Errorf("spec %q: Decl without a Doc line", d.Name)
+	}
+	if d.Sampling.Budget < 0 || d.Sampling.Depth < 0 {
+		return decl{}, fmt.Errorf("spec %q: negative sampling declaration %+v", d.Name, d.Sampling)
 	}
 	params := append([]Param(nil), d.Params...)
 	have := make(map[string]bool, len(params)+2)
@@ -212,6 +237,7 @@ func (s decl) New(p Params) explore.Session { return s.d.New(p) }
 func (s decl) SupportsDedup() bool          { return s.d.Dedup }
 func (s decl) SupportsPrune() bool          { return s.d.Prune }
 func (s decl) Unbounded() bool              { return s.d.Unbounded }
+func (s decl) Sampling() Sampling           { return s.d.Sampling }
 func (s decl) Validate(p Params) error {
 	if s.d.Validate == nil {
 		return nil
@@ -219,38 +245,62 @@ func (s decl) Validate(p Params) error {
 	return s.d.Validate(p)
 }
 
-// paramNames lists a spec's parameter names, sorted.
-func paramNames(s Spec) []string {
-	ps := s.Params()
-	names := make([]string, len(ps))
-	for i, p := range ps {
-		names[i] = p.Name
+// ParamError describes a rejected parameter assignment: which spec, which
+// parameter, and — so consumers can print actionable help instead of a bare
+// rejection — the offending parameter's declared domain (or, for unknown
+// names, every domain the spec does declare). Resolve and Grid return it for
+// both failure modes; cmd/explore renders the domains on stderr.
+type ParamError struct {
+	// Spec is the spec's registry name; Param the offending parameter name;
+	// Value the rejected value (meaningless when Unknown).
+	Spec  string
+	Param string
+	Value int
+	// Unknown reports that the spec declares no parameter of that name; Decl
+	// is then zero. Otherwise Decl is the violated declaration.
+	Unknown bool
+	Decl    Param
+	// Declared holds the spec's full parameter declarations, name-sorted.
+	Declared []Param
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	if e.Unknown {
+		names := make([]string, len(e.Declared))
+		for i, d := range e.Declared {
+			names[i] = d.Name
+		}
+		return fmt.Sprintf("spec %q has no parameter %q (parameters: %s)",
+			e.Spec, e.Param, strings.Join(names, ", "))
 	}
-	return names
+	return fmt.Sprintf("spec %q: param %s=%d outside %s (%s)",
+		e.Spec, e.Param, e.Value, e.Decl.Range(), e.Decl.Doc)
 }
 
 // Resolve completes and validates a parameter assignment against s's
 // declared domains: absent params take their defaults, unknown names and
-// out-of-range values error, and the spec's cross-parameter Validator (if
-// any) runs last. The input map is not modified.
+// out-of-range values fail with a *ParamError naming the offending
+// parameter and its declared domain, and the spec's cross-parameter
+// Validator (if any) runs last. The input map is not modified.
 func Resolve(s Spec, p Params) (Params, error) {
 	out := make(Params, len(p))
+	decls := s.Params()
 	declared := make(map[string]bool)
-	for _, d := range s.Params() {
+	for _, d := range decls {
 		declared[d.Name] = true
 		v, ok := p[d.Name]
 		if !ok {
 			v = d.Default
 		}
 		if v < d.Min || v > d.Max {
-			return nil, fmt.Errorf("spec %q: param %s=%d outside %s", s.Name(), d.Name, v, d.Range())
+			return nil, &ParamError{Spec: s.Name(), Param: d.Name, Value: v, Decl: d, Declared: decls}
 		}
 		out[d.Name] = v
 	}
 	for name := range p {
 		if !declared[name] {
-			return nil, fmt.Errorf("spec %q has no parameter %q (parameters: %s)",
-				s.Name(), name, strings.Join(paramNames(s), ", "))
+			return nil, &ParamError{Spec: s.Name(), Param: name, Unknown: true, Declared: decls}
 		}
 	}
 	if v, ok := s.(Validator); ok {
@@ -273,8 +323,7 @@ func Grid(s Spec, grids map[string][]int) ([]Params, error) {
 	}
 	for name := range grids {
 		if !have[name] {
-			return nil, fmt.Errorf("spec %q has no parameter %q (parameters: %s)",
-				s.Name(), name, strings.Join(paramNames(s), ", "))
+			return nil, &ParamError{Spec: s.Name(), Param: name, Unknown: true, Declared: declared}
 		}
 	}
 	cells := []Params{{}}

@@ -111,6 +111,8 @@ func TestMalformedDeclPanics(t *testing.T) {
 		{"duplicate param", func(d *Decl) { d.Params = append(d.Params, Param{Name: "n", Min: 0, Max: 1}) }},
 		{"empty range", func(d *Decl) { d.Params[0].Min = 5; d.Params[0].Max = 4; d.Params[0].Default = 5 }},
 		{"outside", func(d *Decl) { d.Params[0].Default = 0 }},
+		{"negative sampling", func(d *Decl) { d.Sampling.Budget = -1 }},
+		{"negative sampling", func(d *Decl) { d.Sampling.Depth = -2 }},
 	}
 	for i, tc := range cases {
 		mustPanic(t, tc.want, func() {
@@ -225,6 +227,57 @@ func TestConfigEngineParamsAndCapabilities(t *testing.T) {
 	}
 	if _, err := Config(ns, np, explore.Config{}); err != nil {
 		t.Fatalf("dedup-off config rejected: %v", err)
+	}
+}
+
+func TestSamplingDeclarationRoundTrip(t *testing.T) {
+	Register(testDecl("sampling-spec", func(d *Decl) {
+		d.Sampling = Sampling{Budget: 1234, Depth: 6}
+	}))
+	Register(testDecl("sampling-default-spec", nil))
+	s, _ := Lookup("sampling-spec")
+	if got := s.Sampling(); got.Budget != 1234 || got.Depth != 6 {
+		t.Fatalf("Sampling() = %+v", got)
+	}
+	d, _ := Lookup("sampling-default-spec")
+	if got := d.Sampling(); got != (Sampling{}) {
+		t.Fatalf("undeclared Sampling() = %+v, want zero (consumer defaults)", got)
+	}
+}
+
+// TestParamErrorsAreTyped: Resolve and Grid reject bad assignments with a
+// *ParamError that names the offending parameter and carries its declared
+// domain — what CLI consumers render as actionable help.
+func TestParamErrorsAreTyped(t *testing.T) {
+	Register(testDecl("paramerr-spec", nil))
+	s, _ := Lookup("paramerr-spec")
+
+	_, err := Resolve(s, Params{"x": 99})
+	var pe *ParamError
+	if !errors.As(err, &pe) {
+		t.Fatalf("out-of-range error is not a ParamError: %v", err)
+	}
+	if pe.Spec != "paramerr-spec" || pe.Param != "x" || pe.Value != 99 || pe.Unknown {
+		t.Fatalf("ParamError = %+v", pe)
+	}
+	if pe.Decl.Name != "x" || pe.Decl.Doc == "" || pe.Decl.Max != 8 {
+		t.Fatalf("ParamError lost the declared domain: %+v", pe.Decl)
+	}
+	if msg := pe.Error(); !strings.Contains(msg, "x=99") || !strings.Contains(msg, "1..8") ||
+		!strings.Contains(msg, "consensus number") {
+		t.Fatalf("Error() lost the domain: %q", msg)
+	}
+
+	_, err = Grid(s, map[string][]int{"bogus": {1}})
+	if !errors.As(err, &pe) || !pe.Unknown || pe.Param != "bogus" {
+		t.Fatalf("unknown-param Grid error: %v", err)
+	}
+	if len(pe.Declared) != 4 { // n, x + auto crashes, steps
+		t.Fatalf("Declared = %+v", pe.Declared)
+	}
+	if msg := pe.Error(); !strings.Contains(msg, `no parameter "bogus"`) ||
+		!strings.Contains(msg, "crashes, n, steps, x") {
+		t.Fatalf("Error() lost the alternatives: %q", msg)
 	}
 }
 

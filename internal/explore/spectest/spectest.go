@@ -25,7 +25,12 @@
 //     (per-process outcomes + the harness fingerprint digest at the leaf) is
 //     identical with dedup on and off, with pruning on and off, and with
 //     both composed — dedup may only cut redundant work, pruning may only
-//     drop commuting-order duplicates.
+//     drop commuting-order duplicates;
+//   - sampler conformance: every built-in sampling strategy draws
+//     byte-identical run scripts under a fixed seed, and — on exhaustible
+//     cells — every sampled run's outcome is contained in the exhaustive
+//     outcome set (sampling may only re-visit behaviors the tree holds,
+//     never invent new ones).
 package spectest
 
 import (
@@ -36,6 +41,7 @@ import (
 	"testing"
 
 	"mpcn/internal/explore"
+	"mpcn/internal/explore/sample"
 	"mpcn/internal/explore/spec"
 	"mpcn/internal/sched"
 )
@@ -55,6 +61,11 @@ type Options struct {
 	// Workers sets the parallel pool probed by the sequential/parallel
 	// equality check (0 = 2).
 	Workers int
+	// Samples is the per-strategy budget of the sampler obligations
+	// (0 = 200; < 0 skips them).
+	Samples int
+	// SampleSeed seeds the sampler obligations (0 = 7).
+	SampleSeed int64
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +77,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = 2
+	}
+	if o.Samples == 0 {
+		o.Samples = 200
+	}
+	if o.SampleSeed == 0 {
+		o.SampleSeed = 7
 	}
 	return o
 }
@@ -116,6 +133,9 @@ func declaration(t *testing.T, s spec.Spec) {
 			t.Errorf("spec %q: engine param %q not declared", s.Name(), want)
 		}
 	}
+	if sm := s.Sampling(); sm.Budget < 0 || sm.Depth < 0 {
+		t.Errorf("spec %q: negative sampling declaration %+v", s.Name(), sm)
+	}
 	if _, err := spec.Resolve(s, nil); err != nil {
 		t.Errorf("spec %q: defaults do not resolve: %v", s.Name(), err)
 	}
@@ -164,12 +184,25 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 			par.Runs, par.Pruned, par.Exhausted, a.Runs, a.Pruned, a.Exhausted)
 	}
 
+	// Sampler determinism needs no exhaustion: a fixed seed must draw
+	// byte-identical scripts on every built-in strategy.
+	if opt.Samples > 0 {
+		samplerDeterminism(t, s, p, opt)
+	}
+
 	if !a.Exhausted {
 		t.Logf("spec %q %v: bounded at %d runs; outcome-set obligations skipped", s.Name(), p, opt.MaxRuns)
 		return
 	}
 
 	want, _ := coverage(t, s, p, base)
+
+	// Sampler soundness: on an exhausted cell, every sampled run's outcome
+	// signature is contained in the exhaustive outcome set — the structural
+	// guarantee that sampling walks the same decision tree.
+	if opt.Samples > 0 {
+		samplerSoundness(t, s, p, opt, want)
+	}
 
 	var pruned map[string]bool // reused as the prune+dedup baseline below
 	if s.SupportsPrune() {
@@ -241,19 +274,7 @@ func coverage(t *testing.T, s spec.Spec, p spec.Params, cfg explore.Config) (map
 		if err := inner(res); err != nil {
 			return err
 		}
-		sig := make([]string, 0, len(res.Outcomes))
-		for _, o := range res.Outcomes {
-			sig = append(sig, fmt.Sprintf("%v/%v/%v", o.Status, o.Decided, o.Value))
-		}
-		sort.Strings(sig)
-		key := strings.Join(sig, ";")
-		if leafFP != nil {
-			var h sched.FP
-			leafFP(&h)
-			d := h.Sum()
-			key = fmt.Sprintf("%s#%016x%016x", key, d.Hi, d.Lo)
-		}
-		cover[key] = true
+		cover[leafSignature(res, leafFP)] = true
 		return nil
 	}
 	st, err := explore.ExploreSession(sess, cfg)
@@ -262,6 +283,89 @@ func coverage(t *testing.T, s spec.Spec, p spec.Params, cfg explore.Config) (map
 			s.Name(), p, cfg.Prune, cfg.Dedup, err, st.Exhausted)
 	}
 	return cover, st
+}
+
+// leafSignature canonicalizes one run's checker-observable final state: the
+// per-process outcomes, sorted for interleaving-insensitivity, plus the
+// harness fingerprint digest at the leaf when the spec carries one.
+func leafSignature(res *sched.Result, leafFP func(*sched.FP)) string {
+	sig := make([]string, 0, len(res.Outcomes))
+	for _, o := range res.Outcomes {
+		sig = append(sig, fmt.Sprintf("%v/%v/%v", o.Status, o.Decided, o.Value))
+	}
+	sort.Strings(sig)
+	key := strings.Join(sig, ";")
+	if leafFP != nil {
+		var h sched.FP
+		leafFP(&h)
+		d := h.Sum()
+		key = fmt.Sprintf("%s#%016x%016x", key, d.Hi, d.Lo)
+	}
+	return key
+}
+
+// sampleConfig derives the cell's sampling configuration: the engine params
+// of the resolved assignment plus the spec's declared PCT depth, so the
+// sampled and exhaustive runs see identical crash and step budgets.
+func sampleConfig(s spec.Spec, p spec.Params, opt Options) sample.Config {
+	return sample.Config{
+		Samples:    opt.Samples,
+		Seed:       opt.SampleSeed,
+		MaxCrashes: p[spec.ParamCrashes],
+		MaxSteps:   p[spec.ParamSteps],
+		Depth:      s.Sampling().Depth,
+	}
+}
+
+// samplerDeterminism checks the seeded-reproducibility contract per
+// strategy: two sampling passes under one seed draw byte-identical scripts,
+// sample for sample.
+func samplerDeterminism(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
+	t.Helper()
+	for _, strategy := range sample.Strategies() {
+		cfg := sampleConfig(s, p, opt)
+		first := make([]string, cfg.Samples)
+		cfg.OnSample = func(i int, script []string) { first[i] = strings.Join(script, "\n") }
+		if st, err := sample.Run(s.New(p), strategy, cfg); err != nil {
+			t.Fatalf("sampling %q/%s: %v", s.Name(), strategy, err)
+		} else if st.Samples != cfg.Samples {
+			t.Fatalf("sampling %q/%s: %d samples, want %d", s.Name(), strategy, st.Samples, cfg.Samples)
+		}
+		diverged := false
+		cfg.OnSample = func(i int, script []string) {
+			if got := strings.Join(script, "\n"); got != first[i] && !diverged {
+				diverged = true
+				t.Errorf("sampling %q/%s: sample %d diverged under fixed seed %d:\n%s\nvs\n%s",
+					s.Name(), strategy, i, cfg.Seed, got, first[i])
+			}
+		}
+		if _, err := sample.Run(s.New(p), strategy, cfg); err != nil {
+			t.Fatalf("sampling %q/%s (replay pass): %v", s.Name(), strategy, err)
+		}
+	}
+}
+
+// samplerSoundness checks outcome containment per strategy: a sampled run
+// may only land on leaf signatures the exhaustive walk produced.
+func samplerSoundness(t *testing.T, s spec.Spec, p spec.Params, opt Options, want map[string]bool) {
+	t.Helper()
+	for _, strategy := range sample.Strategies() {
+		sess := s.New(p)
+		inner := sess.Check
+		leafFP := sess.Fingerprint
+		sess.Check = func(res *sched.Result) error {
+			if err := inner(res); err != nil {
+				return err
+			}
+			if sig := leafSignature(res, leafFP); !want[sig] {
+				return fmt.Errorf("sampled outcome %s is outside the exhaustive outcome set", sig)
+			}
+			return nil
+		}
+		if _, err := sample.Run(sess, strategy, sampleConfig(s, p, opt)); err != nil {
+			t.Errorf("sampling soundness %q/%s: %v", s.Name(), strategy, err)
+		}
+	}
 }
 
 func compareCoverage(t *testing.T, mode string, want, got map[string]bool) {

@@ -1,0 +1,44 @@
+// VisitedStore: the exported handle over the sharded visited-state store of
+// dedup.go, for engines that want distinct-state accounting without the
+// exhaustive walker's cut-off machinery. The schedule-sampling engine
+// (internal/explore/sample) uses it as a coverage estimator: every decision
+// boundary of every sampled run is fingerprinted and offered to the store,
+// and the insert count estimates how many distinct canonical states the
+// sample stream has touched.
+
+package explore
+
+import "mpcn/internal/sched"
+
+// VisitedStore is a bounded-memory, lock-striped set of state fingerprints —
+// the same store Config.Dedup builds internally, usable standalone. It is
+// safe for concurrent use; memory is strictly bounded (a full probe window
+// evicts its oldest entry), so once eviction starts the distinct-state
+// count OVER-counts: an evicted fingerprint that reappears is counted again
+// as a fresh insert. The count is exact until the first eviction and an
+// upper estimate after — treat a flat curve as meaningful (genuinely no new
+// states) and a climbing one under eviction pressure with suspicion.
+type VisitedStore struct {
+	st *dedupStore
+}
+
+// NewVisitedStore sizes a store to memBytes (0 = DefaultDedupMem) across
+// shards lock stripes (0 = DefaultDedupShards, rounded up to a power of two).
+func NewVisitedStore(memBytes, shards int) *VisitedStore {
+	return &VisitedStore{st: newDedupStore(memBytes, shards)}
+}
+
+// Visit reports whether fp was already resident, inserting it if not.
+// Exactly one caller ever gets "false" for a given resident fingerprint.
+func (v *VisitedStore) Visit(fp sched.Fingerprint) bool {
+	return v.st.visit(fp)
+}
+
+// Stats snapshots the store counters. Stats.States is the insert count — the
+// distinct-state estimate (exact until the first eviction).
+func (v *VisitedStore) Stats() DedupStats {
+	if v == nil {
+		return DedupStats{}
+	}
+	return v.st.snapshot()
+}
