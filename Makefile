@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json explore-smoke sample-smoke spec-conformance experiments docs-check
+.PHONY: build vet test bench bench-json explore-smoke sample-smoke spec-conformance symmetry-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,14 @@ bench-json: build
 # spec on a bounded grid.
 spec-conformance: build
 	$(GO) test -race -count=1 -run TestConformanceAllSpecs ./internal/explore/spectest
+
+# Symmetry-soundness gate (CI's test job): the spectest symmetry battery
+# (orbit-canonical outcome preservation, permuted-script verdict invariance,
+# byte-identical counterexamples) plus the benchexplore symmetry series with
+# its orbit-collapse gate (commitadopt n=3 must collapse strictly, > 1x).
+symmetry-conformance: build
+	$(GO) test -race -count=1 -run 'TestSymmetry|TestPermuteScript|TestVisitedStore|TestOrbit' ./internal/explore/spectest ./internal/explore ./internal/sched
+	$(GO) run ./cmd/benchexplore -symmetry-only -o ""
 
 # Bounded exhaustive-exploration smoke: every cell is capped by -maxruns, so
 # this can never hang CI even on pathological trees (the BG cell alone would

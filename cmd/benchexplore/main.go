@@ -27,9 +27,18 @@
 // asserts at least one sweep reaches a >= 2x runs-explored reduction (the
 // dedup regression gate).
 //
+// Specs declaring the symmetry capability additionally contribute a symmetry
+// series (engine "sequential-session-symmetry"): the sequential dedup walk
+// with orbit-canonical fingerprints, recorded with its runs-explored
+// collapse vs dedup alone (OrbitCollapseX). The symmetry gate requires every
+// symmetry-declaring spec to carry the series and the tracked commit-adopt
+// n=3 cell to show a strict (> 1x) collapse. -symmetry-only runs just this
+// series and gate (the CI symmetry-conformance mode); -o "" measures and
+// gates without writing the file.
+//
 // Usage:
 //
-//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000] [-samples 4000]
+//	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000] [-samples 4000] [-symmetry-only]
 package main
 
 import (
@@ -73,6 +82,10 @@ type Record struct {
 	DedupStates int64   `json:"dedup_states,omitempty"`
 	DedupHits   int64   `json:"dedup_hits,omitempty"`
 	ReductionX  float64 `json:"reduction_x,omitempty"`
+	// Symmetry-engine extra (engine "sequential-session-symmetry"): the
+	// runs-explored collapse vs the same engine with dedup alone — the
+	// additional reduction bought by orbit-canonical fingerprints.
+	OrbitCollapseX float64 `json:"orbit_collapse_x,omitempty"`
 	// Sampling-engine extras (engine "sample-pct"): sampled runs, sampling
 	// throughput, the distinct-state estimate and its growth curve.
 	Samples        int                    `json:"samples,omitempty"`
@@ -92,13 +105,14 @@ type Report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_explore.json", "output file")
+	out := flag.String("o", "BENCH_explore.json", "output file (empty = measure and gate without writing)")
 	workers := flag.Int("workers", 0, "parallel worker-pool size (<= 0 selects the default)")
 	reps := flag.Int("reps", 3, "repetitions per cell; the best rep is reported")
 	probe := flag.Int("probe", 20000, "exhaustibility probe: skip sweeps that exceed this many runs")
 	samples := flag.Int("samples", 4000, "sampling-series budget per spec (specs may declare smaller)")
+	symOnly := flag.Bool("symmetry-only", false, "run only the symmetry series and its gate (the CI symmetry-conformance mode)")
 	flag.Parse()
-	if err := run(*out, *workers, *reps, *probe, *samples); err != nil {
+	if err := run(*out, *workers, *reps, *probe, *samples, *symOnly); err != nil {
 		fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
 		os.Exit(1)
 	}
@@ -124,16 +138,12 @@ func sweeps() ([]sweep, error) {
 	return out, nil
 }
 
-func run(out string, workers, reps, probe, samples int) error {
+func run(out string, workers, reps, probe, samples int, symOnly bool) error {
 	if workers <= 0 {
 		workers = explore.DefaultWorkers()
 	}
 	if reps < 1 {
 		reps = 1
-	}
-	cells, err := sweeps()
-	if err != nil {
-		return err
 	}
 	report := Report{
 		GeneratedUnix: time.Now().Unix(),
@@ -141,6 +151,21 @@ func run(out string, workers, reps, probe, samples int) error {
 		NumCPU:        runtime.NumCPU(),
 		Workers:       workers,
 		Reps:          reps,
+	}
+	if symOnly {
+		symmetric, err := symmetrySeries(reps)
+		if err != nil {
+			return err
+		}
+		if err := symmetryGate(symmetric); err != nil {
+			return err
+		}
+		report.Records = symmetric
+		return write(out, report)
+	}
+	cells, err := sweeps()
+	if err != nil {
+		return err
 	}
 	bestReduction := 0.0
 	for _, sw := range cells {
@@ -209,6 +234,14 @@ func run(out string, workers, reps, probe, samples int) error {
 	if bestReduction < 2 {
 		return fmt.Errorf("dedup regression: best runs-explored reduction %.2fx < 2x", bestReduction)
 	}
+	symmetric, err := symmetrySeries(reps)
+	if err != nil {
+		return err
+	}
+	report.Records = append(report.Records, symmetric...)
+	if err := symmetryGate(symmetric); err != nil {
+		return err
+	}
 	sampled, err := sampleSeries(workers, samples)
 	if err != nil {
 		return err
@@ -216,6 +249,14 @@ func run(out string, workers, reps, probe, samples int) error {
 	report.Records = append(report.Records, sampled...)
 	if err := sampledSpecsPresent(report.Records); err != nil {
 		return err
+	}
+	return write(out, report)
+}
+
+// write serializes the report; an empty path means "measure and gate only".
+func write(out string, report Report) error {
+	if out == "" {
+		return nil
 	}
 	f, err := os.Create(out)
 	if err != nil {
@@ -228,6 +269,105 @@ func run(out string, workers, reps, probe, samples int) error {
 		return err
 	}
 	return f.Close()
+}
+
+// symmetrySweeps derives the symmetry-series cells: per symmetry-declaring
+// spec the declared defaults at crash budgets 0 and 1, plus the
+// three-process crash-free commit-adopt cell the orbit-collapse gate tracks
+// (at the two-process defaults the orbit structure is too small to measure).
+func symmetrySweeps() ([]sweep, error) {
+	var out []sweep
+	for _, s := range spec.All() {
+		if !s.SupportsSymmetry() {
+			continue
+		}
+		grids := []spec.Params{
+			{spec.ParamCrashes: 0},
+			{spec.ParamCrashes: 1},
+		}
+		if s.Name() == "commitadopt" {
+			grids = append(grids, spec.Params{"n": 3, spec.ParamCrashes: 0})
+		}
+		for _, g := range grids {
+			p, err := spec.Resolve(s, g)
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: %w", s.Name(), err)
+			}
+			name := fmt.Sprintf("%s/%v", s.Name(), g)
+			out = append(out, sweep{name: name, spec: s, p: p})
+		}
+	}
+	return out, nil
+}
+
+// symmetrySeries measures the symmetry engine against its dedup baseline:
+// per cell, the sequential dedup walk and the sequential dedup+symmetry walk
+// (both exhausted), asserting the symmetric walk never explores more runs,
+// and recording the runs-explored collapse as OrbitCollapseX.
+func symmetrySeries(reps int) ([]Record, error) {
+	cells, err := symmetrySweeps()
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, sw := range cells {
+		baseline, err := measure(sw, "sequential-session-dedup", 0, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s/sequential-session-dedup: %w", sw.name, err)
+		}
+		best, err := measure(sw, "sequential-session-symmetry", 0, reps)
+		if err != nil {
+			return nil, fmt.Errorf("%s/sequential-session-symmetry: %w", sw.name, err)
+		}
+		if best.Runs > baseline.Runs {
+			return nil, fmt.Errorf("%s: symmetry explored MORE runs than dedup alone: %d vs %d",
+				sw.name, best.Runs, baseline.Runs)
+		}
+		rec := Record{
+			Sweep:          sw.name,
+			Spec:           sw.spec.Name(),
+			Params:         sw.p.String(),
+			Engine:         "sequential-session-symmetry",
+			Runs:           best.Runs,
+			Pruned:         best.Pruned,
+			ElapsedSec:     best.Elapsed.Seconds(),
+			RunsPerSec:     best.RunsPerSec(),
+			DedupStates:    best.Dedup.States,
+			DedupHits:      best.Dedup.Hits,
+			OrbitCollapseX: float64(baseline.Runs) / float64(best.Runs),
+		}
+		fmt.Printf("%-28s %-26s %8d runs %10.0f runs/sec %8.2fx orbit collapse\n",
+			sw.name, rec.Engine, rec.Runs, rec.RunsPerSec, rec.OrbitCollapseX)
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// symmetryGate is the symmetry regression gate: every symmetry-declaring
+// spec carries at least one symmetry record, and the tracked commit-adopt
+// n=3 cell shows a strict orbit collapse (> 1x) — a ratio of exactly 1 means
+// the canonicalization never merged a single orbit.
+func symmetryGate(records []Record) error {
+	have := make(map[string]bool)
+	tracked := 0.0
+	for _, r := range records {
+		if r.Engine != "sequential-session-symmetry" {
+			continue
+		}
+		have[r.Spec] = true
+		if r.Spec == "commitadopt" && strings.Contains(r.Params, "n=3") && r.OrbitCollapseX > tracked {
+			tracked = r.OrbitCollapseX
+		}
+	}
+	for _, s := range spec.All() {
+		if s.SupportsSymmetry() && !have[s.Name()] {
+			return fmt.Errorf("symmetry gate: spec %q declares symmetry but has no symmetry series", s.Name())
+		}
+	}
+	if tracked <= 1 {
+		return fmt.Errorf("symmetry gate: commitadopt n=3 orbit collapse %.2fx is not > 1x", tracked)
+	}
+	return nil
 }
 
 // sampleSeries records one seeded PCT sampling cell per registered spec —
@@ -333,6 +473,10 @@ func measure(sw sweep, engine string, workers, reps int) (explore.Stats, error) 
 			stats, err = explore.ExploreParallel(spec.Factory(sw.spec, sw.p), cfg)
 		case "sequential-session-dedup":
 			cfg.Dedup = true
+			stats, err = explore.ExploreSession(sw.spec.New(sw.p), cfg)
+		case "sequential-session-symmetry":
+			cfg.Dedup = true
+			cfg.Symmetry = true
 			stats, err = explore.ExploreSession(sw.spec.New(sw.p), cfg)
 		case "parallel-session-dedup":
 			cfg.Dedup = true

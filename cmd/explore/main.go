@@ -18,6 +18,7 @@
 //	explore -object safe        -n 2,3 -crashes 0,1 [-prune] [-dedup] [-workers 8]
 //	explore -object xsafe       -n 2,3 -x 1,2 -crashes 0,1 -prune
 //	explore -object commitadopt -n 2 -crashes 0,1 -dedup
+//	explore -object commitadopt -n 3 -dedup -symmetry
 //	explore -object queue       -n 3 -set ops=1,2 -crashes 1 -dedup
 //	explore -object bg          -n 2,3 -t 1 -maxruns 20000
 //	explore -object registers   -n 3 -prune -compare
@@ -48,6 +49,13 @@
 // false in -list) reject it up front. Under -dedup the parallel engine's
 // visited-run count depends on worker timing, so -compare only verifies the
 // exhaustion verdict and reports the sequential run count alongside.
+//
+// -symmetry additionally keys the visited store by orbit-canonical
+// fingerprints (process-permutation symmetry reduction), so states that
+// differ only by a renaming of the processes dedup together. It requires
+// -dedup, and only specs declaring the symmetry capability ("symmetry" in
+// -list) accept it — others reject it up front, like -dedup on a
+// fingerprint-less spec. See docs/SYMMETRY.md.
 //
 // -sample pct|walk|swarm draws -samples seeded runs per grid cell instead of
 // enumerating (crash budgets still come from -crashes; -depth sets the PCT
@@ -89,6 +97,7 @@ type options struct {
 	prune    bool
 	dedup    bool
 	dedupMem int
+	symmetry bool
 	compare  bool
 	seq      bool
 	respawn  bool
@@ -128,6 +137,7 @@ func run(args []string, out io.Writer) int {
 	fs.BoolVar(&o.prune, "prune", false, "enable partial-order reduction")
 	fs.BoolVar(&o.dedup, "dedup", false, "enable state-fingerprint deduplication (visited-state cut-offs)")
 	fs.IntVar(&o.dedupMem, "dedupmem", 0, "visited-state store budget in MiB (0 = default 64)")
+	fs.BoolVar(&o.symmetry, "symmetry", false, "enable symmetry reduction (orbit-canonical fingerprints; needs -dedup)")
 	fs.BoolVar(&o.compare, "compare", false, "verify the parallel run count against the sequential explorer")
 	fs.BoolVar(&o.seq, "seq", false, "use the sequential explorer only")
 	fs.BoolVar(&o.respawn, "respawn", false, "respawn the scheduler per run (pre-session baseline; for comparisons)")
@@ -212,7 +222,7 @@ func dispatch(o options, out io.Writer) error {
 // bound or a grid applied when it did not.
 func rejectInapplicableFlags(o options, explicit map[string]bool, haveSets bool) error {
 	if o.sample != "" {
-		for _, name := range []string{"prune", "dedup", "dedupmem", "maxruns", "compare", "respawn"} {
+		for _, name := range []string{"prune", "dedup", "dedupmem", "symmetry", "maxruns", "compare", "respawn"} {
 			if explicit[name] {
 				return fmt.Errorf("-%s applies to exhaustive exploration only (drop it or drop -sample)", name)
 			}
@@ -280,12 +290,15 @@ func printList(out io.Writer) {
 	all := spec.All()
 	fmt.Fprintf(out, "registered specs (%d):\n", len(all))
 	for _, s := range all {
-		caps := make([]string, 0, 2)
+		caps := make([]string, 0, 3)
 		if s.SupportsPrune() {
 			caps = append(caps, "prune")
 		}
 		if s.SupportsDedup() {
 			caps = append(caps, "dedup")
+		}
+		if s.SupportsSymmetry() {
+			caps = append(caps, "symmetry")
 		}
 		if len(caps) == 0 {
 			caps = append(caps, "none")
@@ -321,6 +334,7 @@ func sweep(o options, out io.Writer) error {
 			Prune:    o.prune,
 			Dedup:    o.dedup,
 			DedupMem: o.dedupMem << 20,
+			Symmetry: o.symmetry,
 			Respawn:  o.respawn,
 		})
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"mpcn/internal/explore"
 	"mpcn/internal/explore/spec"
 )
 
@@ -111,6 +112,58 @@ func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
 	}
 }
 
+// TestSymmetryOnNonCapableSpecRejected: -symmetry against a spec that does
+// not declare the capability fails up front with the spec-tagged
+// ErrNoSymmetry — the same loud-rejection pattern as -dedup on a
+// fingerprint-less spec.
+func TestSymmetryOnNonCapableSpecRejected(t *testing.T) {
+	err := sweep(options{object: "safe", grids: map[string][]int{}, dedup: true, symmetry: true, maxRuns: 10}, io.Discard)
+	if err == nil {
+		t.Fatal("symmetry accepted on a non-capable spec")
+	}
+	if !errors.Is(err, explore.ErrNoSymmetry) {
+		t.Errorf("err = %v, want ErrNoSymmetry", err)
+	}
+	if !strings.Contains(err.Error(), `"safe"`) {
+		t.Errorf("error %q does not name the spec", err)
+	}
+	if code := run(strings.Fields("-object safe -dedup -symmetry -maxruns 10"), io.Discard); code == 0 {
+		t.Fatal("run() must propagate the symmetry rejection")
+	}
+}
+
+// TestSymmetryWithoutDedupRejected: symmetry reduction acts through the
+// visited store, so -symmetry without -dedup is rejected even on capable
+// specs.
+func TestSymmetryWithoutDedupRejected(t *testing.T) {
+	err := sweep(options{object: "commitadopt", grids: map[string][]int{}, symmetry: true, maxRuns: 10}, io.Discard)
+	if !errors.Is(err, explore.ErrSymmetryNeedsDedup) {
+		t.Fatalf("err = %v, want ErrSymmetryNeedsDedup", err)
+	}
+	if code := run(strings.Fields("-object commitadopt -symmetry -maxruns 10"), io.Discard); code == 0 {
+		t.Fatal("run() must propagate the symmetry-without-dedup rejection")
+	}
+}
+
+// TestSymmetrySweepEndToEnd: a symmetric cell exhausts under -dedup
+// -symmetry through run(), and -list advertises the capability.
+func TestSymmetrySweepEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(strings.Fields("-object commitadopt -n 3 -dedup -symmetry -workers 2"), &out); code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "EXHAUSTED") {
+		t.Fatalf("no EXHAUSTED verdict in:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"-list"}, &out); code != 0 {
+		t.Fatalf("-list exit code %d", code)
+	}
+	if !strings.Contains(out.String(), "supports: prune, dedup, symmetry") {
+		t.Fatalf("-list does not advertise the symmetry capability:\n%s", out.String())
+	}
+}
+
 func TestParseGrid(t *testing.T) {
 	got, err := parseGrid("1, 2,3")
 	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
@@ -182,14 +235,15 @@ func TestSampleRejectsBadConfigs(t *testing.T) {
 		"-object safe -sample annealing -samples 10",
 		"-allspecs",
 		"-object safe -sample walk -samples 0",
-		"-object safe -sample walk -dedup",      // exhaustive-only flag under -sample
-		"-object safe -sample pct -maxruns 100", // exhaustive-only bound under -sample
-		"-object safe -sample pct -compare",     // exhaustive-only check under -sample
-		"-object safe -samples 100",             // sampling-only flag without -sample
-		"-object safe -seed 3",                  // sampling-only flag without -sample
-		"-sample pct -allspecs -object safe",    // -allspecs with explicit spec
-		"-sample pct -allspecs -crashes 1",      // -allspecs with a grid flag
-		"-sample pct -allspecs -set writes=2",   // -allspecs with -set
+		"-object safe -sample walk -dedup",           // exhaustive-only flag under -sample
+		"-object commitadopt -sample walk -symmetry", // exhaustive-only flag under -sample
+		"-object safe -sample pct -maxruns 100",      // exhaustive-only bound under -sample
+		"-object safe -sample pct -compare",          // exhaustive-only check under -sample
+		"-object safe -samples 100",                  // sampling-only flag without -sample
+		"-object safe -seed 3",                       // sampling-only flag without -sample
+		"-sample pct -allspecs -object safe",         // -allspecs with explicit spec
+		"-sample pct -allspecs -crashes 1",           // -allspecs with a grid flag
+		"-sample pct -allspecs -set writes=2",        // -allspecs with -set
 	} {
 		if code := run(strings.Fields(args), io.Discard); code == 0 {
 			t.Errorf("%q accepted", args)

@@ -40,12 +40,15 @@ func (c caCell) Fingerprint(h *sched.FP) {
 }
 
 // Fingerprint implements sched.Fingerprinter: both phase memories plus the
-// per-process proposed flags.
+// per-process proposed flags. The phase snapshots route component i through
+// digest lane i themselves; the done flags follow the same per-process
+// routing, so the whole object canonicalizes under symmetry reduction (Lane
+// is the identity on a plain FP).
 func (ca *CommitAdopt) Fingerprint(h *sched.FP) {
 	ca.phase[0].(sched.Fingerprinter).Fingerprint(h)
 	ca.phase[1].(sched.Fingerprinter).Fingerprint(h)
-	for _, d := range ca.done {
-		h.Bool(d)
+	for i, d := range ca.done {
+		h.Lane(sched.ProcID(i)).Bool(d)
 	}
 }
 

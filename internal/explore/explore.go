@@ -87,6 +87,15 @@ type Config struct {
 	// DedupShards is the store's lock-stripe count, rounded up to a power of
 	// two (0 = DefaultDedupShards).
 	DedupShards int
+	// Symmetry enables symmetry reduction on top of Dedup: the visited-state
+	// fingerprint is computed in orbit-canonical mode (per-process state in
+	// sorted digest lanes, values filtered through Session.Canon), so states
+	// equal up to a process permutation hash identically and all but one
+	// representative of each orbit is cut. Requires Dedup (the reduction acts
+	// only through the visited store; see ErrSymmetryNeedsDedup) and a Session
+	// that declares Symmetric (see ErrNoSymmetry): under an undeclared
+	// asymmetry the canonical hash would merge states whose futures differ.
+	Symmetry bool
 	// Respawn disables the session-reuse runtime and replays every run the
 	// way the explorer worked before the Session refactor: a freshly spawned
 	// scheduler per run over the strict rendezvous handoff, with a freshly
@@ -219,6 +228,13 @@ type scripted struct {
 	cutAt   int
 	cutAlts int
 
+	// Symmetry-reduction fields (symmetric == false: plain fingerprints).
+	// symFP is the reusable orbit-canonical accumulator, lazily sized to the
+	// run's process count.
+	symmetric bool
+	canon     func(any) any
+	symFP     *sched.FP
+
 	// allocEachNext restores the pre-Session behavior of allocating the
 	// alternative slices on every decision (the Respawn baseline); the
 	// default reuses altsBuf/keptBuf across decisions and runs.
@@ -254,10 +270,13 @@ func (s *scripted) reset(prefix []int) {
 
 // setDedup arms (or disarms, store == nil) state deduplication for the next
 // replay. Only the replay's new tree nodes — depths >= len(prefix) — are
-// fingerprinted.
-func (s *scripted) setDedup(store *dedupStore, fpFn func(h *sched.FP)) {
+// fingerprinted. With symmetric set, fingerprints are computed in
+// orbit-canonical mode (canon may be nil for identity).
+func (s *scripted) setDedup(store *dedupStore, fpFn func(h *sched.FP), symmetric bool, canon func(any) any) {
 	s.store = store
 	s.fpFn = fpFn
+	s.symmetric = symmetric
+	s.canon = canon
 }
 
 // fingerprint digests the canonical state at the current decision boundary:
@@ -272,6 +291,9 @@ func (s *scripted) setDedup(store *dedupStore, fpFn func(h *sched.FP)) {
 // first visit expanded), and everything the harness registered (shared
 // objects + checker-visible logs).
 func (s *scripted) fingerprint(v sched.View) sched.Fingerprint {
+	if s.symmetric {
+		return s.symFingerprint(v)
+	}
 	var h sched.FP
 	for i := range v.Pending {
 		h.Label(v.Pending[i])
@@ -281,17 +303,56 @@ func (s *scripted) fingerprint(v sched.View) sched.Fingerprint {
 		h.Word(obs.Lo)
 		h.Word(obs.Hi)
 	}
-	if s.prune {
-		if n := len(s.choices); n > 0 {
-			prev := s.choices[n-1]
-			h.Int(int(prev.kind))
-			h.Int(int(prev.id))
-			h.Label(prev.label)
-		} else {
-			h.Int(0)
-		}
-	}
+	s.foldPrev(&h)
 	s.fpFn(&h)
+	return h.Sum()
+}
+
+// foldPrev folds the previous decision under pruning: two nodes may only
+// merge when their partial-order filters coincide, so a cut subtree is
+// exactly the reduced subtree the first visit expanded. The fold is raw
+// (absolute process IDs) even under symmetry: the POR filter compares
+// concrete IDs, so permutation-related states with different previous
+// decisions genuinely have different reduced subtrees and must not merge.
+func (s *scripted) foldPrev(h *sched.FP) {
+	if !s.prune {
+		return
+	}
+	if n := len(s.choices); n > 0 {
+		prev := s.choices[n-1]
+		h.Int(int(prev.kind))
+		h.Int(int(prev.id))
+		h.Label(prev.label)
+	} else {
+		h.Int(0)
+	}
+}
+
+// symFingerprint is the orbit-canonical variant of fingerprint: process i's
+// control point and observation digest go into digest lane i (pending labels
+// through SymLabel, which erases the process's own cell index), the
+// symmetry-declaring session's Fingerprint routes per-process shared state
+// into the lanes likewise, and Sum folds the sorted lane digests — so two
+// states that are process permutations of one another hash identically.
+// Asymmetric context (the POR previous decision) stays in the root digest.
+func (s *scripted) symFingerprint(v sched.View) sched.Fingerprint {
+	n := len(v.Pending)
+	if s.symFP == nil || s.symFP.Lanes() != n {
+		s.symFP = sched.NewOrbitFP(n, s.canon)
+	}
+	h := s.symFP
+	h.Reset()
+	for i := range v.Pending {
+		ln := h.Lane(sched.ProcID(i))
+		ln.SymLabel(v.Pending[i])
+		ln.Bool(v.Crashed[i])
+		ln.Int(v.StepsOf[i])
+		obs := v.Obs[i].Sum()
+		ln.Word(obs.Lo)
+		ln.Word(obs.Hi)
+	}
+	s.foldPrev(h)
+	s.fpFn(h)
 	return h.Sum()
 }
 
@@ -431,6 +492,23 @@ type Session struct {
 	// and — as under Prune — must treat logs as multisets when the log fold
 	// is commutative.
 	Fingerprint func(h *sched.FP)
+	// Symmetric declares the harness invariant under process permutation,
+	// which Config.Symmetry requires: the process bodies are identical up to
+	// value parameterizations Canon erases, per-process shared state is
+	// folded through FP.Lane in Fingerprint (the reg, snapshot and agreement
+	// types route per-cell state that way), and Check's verdict is invariant
+	// under permuting the processes of a run. Declaring symmetry on an
+	// asymmetric harness makes the reduction unsound (states with different
+	// futures merge); the spectest battery exists to catch exactly that.
+	Symmetric bool
+	// Canon, used only under Config.Symmetry, maps checker-visible values to
+	// their process-anonymous form before hashing (nil = identity): e.g. a
+	// harness whose process i proposes the value 100+i erases all proposal
+	// values to one tag, so runs differing only in WHICH process's value won
+	// canonicalize together. Canon must be the identity on every value whose
+	// concrete identity affects the run's future or Check's verdict beyond
+	// process naming.
+	Canon func(v any) any
 }
 
 // runBudget is the shared MaxRuns ticket counter: every complete run takes a
@@ -520,7 +598,7 @@ func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 		// Baseline mode: fresh adversary, fresh rendezvous-protocol runtime,
 		// exactly as the explorer worked before the session-reuse refactor.
 		adv = newScripted(prefix, w.cfg)
-		adv.setDedup(w.store, w.session.Fingerprint)
+		adv.setDedup(w.store, w.session.Fingerprint, w.cfg.Symmetry, w.session.Canon)
 		var rt *sched.Session
 		rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Rendezvous: true})
 		if err == nil {
@@ -533,7 +611,7 @@ func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 		}
 		adv = w.adv
 		adv.reset(prefix)
-		adv.setDedup(w.store, w.session.Fingerprint)
+		adv.setDedup(w.store, w.session.Fingerprint, w.cfg.Symmetry, w.session.Canon)
 		if w.rt == nil || w.rt.N() != len(bodies) {
 			w.close()
 			w.rt, err = sched.NewSession(len(bodies))
@@ -600,6 +678,30 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 // silently merge states the checker distinguishes.
 var ErrNoFingerprint = errors.New("explore: Config.Dedup needs a Session.Fingerprint")
 
+// ErrNoSymmetry is returned when Config.Symmetry is set but the explored
+// Session does not declare Symmetric: canonicalizing an undeclared-symmetric
+// harness could silently merge states whose futures differ.
+var ErrNoSymmetry = errors.New("explore: Config.Symmetry needs a Session declaring Symmetric")
+
+// ErrSymmetryNeedsDedup is returned when Config.Symmetry is set without
+// Config.Dedup: symmetry reduction acts only through the visited-state
+// store's canonical fingerprints, so there is nothing for it to do alone.
+var ErrSymmetryNeedsDedup = errors.New("explore: Config.Symmetry requires Config.Dedup")
+
+// checkSymmetry validates the Symmetry configuration against the session.
+func checkSymmetry(s Session, cfg Config) error {
+	if !cfg.Symmetry {
+		return nil
+	}
+	if !s.Symmetric {
+		return ErrNoSymmetry
+	}
+	if !cfg.Dedup {
+		return ErrSymmetryNeedsDedup
+	}
+	return nil
+}
+
 // Explore enumerates the decision tree of the processes returned by mk
 // (fresh shared state per run) and applies check to every complete run. It
 // stops at the first property violation. Sessions carrying a Fingerprint
@@ -613,6 +715,9 @@ func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config
 func ExploreSession(s Session, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
+	if err := checkSymmetry(s, cfg); err != nil {
+		return Stats{}, err
+	}
 	var store *dedupStore
 	if cfg.Dedup {
 		if s.Fingerprint == nil {

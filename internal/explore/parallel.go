@@ -48,6 +48,9 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	// claim ownership of states the probe never expands (see dedup.go).
 	var store *dedupStore
 	probeSession := newSession()
+	if err := checkSymmetry(probeSession, cfg); err != nil {
+		return Stats{}, err
+	}
 	if cfg.Dedup {
 		if probeSession.Fingerprint == nil {
 			return Stats{}, ErrNoFingerprint

@@ -37,6 +37,9 @@ func TestAndSetRace(n int) func() explore.Session {
 			}
 		}
 		return explore.Session{
+			// Symmetric: identical bodies, one process-independent shared bit,
+			// boolean outcomes; the checker only counts winners.
+			Symmetric: true,
 			Make: func() []sched.Proc {
 				outs = outs[:0]
 				tas = object.NewTestAndSet("tas")
@@ -350,8 +353,9 @@ func init() {
 		New: func(p spec.Params) explore.Session {
 			return TestAndSetRace(p["n"])()
 		},
-		Dedup: true,
-		Prune: true,
+		Dedup:    true,
+		Prune:    true,
+		Symmetry: true,
 	})
 
 	spec.Register(spec.Decl{

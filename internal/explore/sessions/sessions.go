@@ -128,6 +128,8 @@ func CommitAdopt(n int) func() explore.Session {
 			}
 		}
 		return explore.Session{
+			Symmetric: true,
+			Canon:     eraseProposals(n),
 			Make: func() []sched.Proc {
 				outs = outs[:0]
 				ca = agreement.NewCommitAdopt("ca", n)
@@ -238,19 +240,25 @@ func BG(n, t int) (func() explore.Session, error) {
 
 // Registers is the independence stress: n processes each writing a private
 // register writes times — the best case for partial-order reduction and the
-// fixed workload of the explorer benchmarks.
+// fixed workload of the explorer benchmarks. The private registers are the
+// cells of one register array (cell i written only by process i): per-cell
+// labels keep the partial-order independence identical to distinct
+// registers, while the array's lane-routed fingerprint makes the session
+// symmetric — every process runs the same body, so states differing only in
+// WHICH processes have progressed canonicalize together.
 func Registers(n, writes int) func() explore.Session {
 	return func() explore.Session {
-		regs := make([]*reg.Register[int], n)
+		var regs *reg.Array[int]
 		return explore.Session{
+			Symmetric: true,
 			Make: func() []sched.Proc {
+				regs = reg.NewArray[int]("r", n)
 				bodies := make([]sched.Proc, n)
 				for i := range bodies {
-					r := reg.New[int](fmt.Sprintf("r%d", i))
-					regs[i] = r
+					i := i
 					bodies[i] = func(e *sched.Env) {
 						for j := 1; j <= writes; j++ {
-							r.Write(e, j)
+							regs.Write(e, i, j)
 						}
 						e.Decide(0)
 					}
@@ -264,9 +272,7 @@ func Registers(n, writes int) func() explore.Session {
 				return nil
 			},
 			Fingerprint: func(h *sched.FP) {
-				for _, r := range regs {
-					r.Fingerprint(h)
-				}
+				regs.Fingerprint(h)
 			},
 		}
 	}
@@ -276,15 +282,33 @@ func Registers(n, writes int) func() explore.Session {
 // combined commutatively, so two runs whose logs hold the same entries in
 // different completion orders fingerprint identically. Sound because every
 // checker here treats its log as a set (required under Prune anyway).
+// Per-entry digests go through h.Sub() so that, under symmetry reduction,
+// entry values canonicalize through the session's Canon exactly like
+// top-level state (Sub is a zero FP on a plain accumulator).
 func foldMultiset(h *sched.FP, n int, fold func(i int, t *sched.FP)) {
 	var sum uint64
 	for i := 0; i < n; i++ {
-		var t sched.FP
+		t := h.Sub()
 		fold(i, &t)
 		sum += sched.Mix(t.Sum().Lo)
 	}
 	h.Int(n)
 	h.Word(sum)
+}
+
+// eraseProposals returns the symmetry Canon of the proposal-value sessions:
+// the distinct per-process inputs 100..100+n-1 all map to one tag, so runs
+// that differ only in WHICH process's proposal flowed where canonicalize
+// together. Lossless for the checkers here: validity and agreement compare
+// proposal values only for identity and membership in the proposal set, both
+// invariant under the erasure combined with the per-process digest lanes.
+func eraseProposals(n int) func(v any) any {
+	return func(v any) any {
+		if proposedValue(v, n) {
+			return "‹proposal›"
+		}
+		return v
+	}
 }
 
 // foldValues is foldMultiset over a plain decision-value log.

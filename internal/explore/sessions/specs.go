@@ -59,6 +59,10 @@ func init() {
 		},
 		Dedup: true,
 		Prune: true,
+		// Symmetric: identical bodies up to the proposal value (erased by the
+		// session's Canon), per-process shared state (phase cells, done flags)
+		// lane-routed, checker counts commits without naming processes.
+		Symmetry: true,
 	})
 
 	// BG sessions carry no Fingerprint (the engine's internal state is not
@@ -111,5 +115,8 @@ func init() {
 		},
 		Dedup: true,
 		Prune: true,
+		// Symmetric: every writer runs the same body on its own array cell;
+		// written values are step counters, independent of process identity.
+		Symmetry: true,
 	})
 }

@@ -132,6 +132,11 @@ type Spec interface {
 	// SupportsPrune reports whether the checker is insensitive to the order
 	// of commuting operations, i.e. whether explore.Config.Prune is sound.
 	SupportsPrune() bool
+	// SupportsSymmetry reports whether New's sessions declare process-
+	// permutation symmetry (explore.Session.Symmetric), i.e. whether
+	// explore.Config.Symmetry is sound. Implies SupportsDedup: symmetry
+	// reduction acts only through the visited-state store.
+	SupportsSymmetry() bool
 	// Sampling returns the spec's schedule-sampling budget declaration.
 	Sampling() Sampling
 }
@@ -170,6 +175,11 @@ type Decl struct {
 	Validate func(p Params) error
 	Dedup    bool
 	Prune    bool
+	// Symmetry is the SupportsSymmetry capability flag: New's sessions
+	// declare explore.Session.Symmetric (bodies identical up to Canon-erased
+	// values, per-process state folded through FP.Lane, permutation-invariant
+	// checker). Requires Dedup.
+	Symmetry bool
 	// Unbounded marks scenarios whose full decision tree no feasible run
 	// budget can exhaust (the BG simulation): consumers run them as bounded
 	// smokes and accept exhausted=false. See the package-level Unbounded.
@@ -197,6 +207,9 @@ func newDecl(d Decl) (decl, error) {
 	}
 	if d.Sampling.Budget < 0 || d.Sampling.Depth < 0 {
 		return decl{}, fmt.Errorf("spec %q: negative sampling declaration %+v", d.Name, d.Sampling)
+	}
+	if d.Symmetry && !d.Dedup {
+		return decl{}, fmt.Errorf("spec %q: Symmetry requires Dedup (the reduction acts through the visited store)", d.Name)
 	}
 	params := append([]Param(nil), d.Params...)
 	have := make(map[string]bool, len(params)+2)
@@ -236,6 +249,7 @@ func (s decl) Params() []Param              { return append([]Param(nil), s.para
 func (s decl) New(p Params) explore.Session { return s.d.New(p) }
 func (s decl) SupportsDedup() bool          { return s.d.Dedup }
 func (s decl) SupportsPrune() bool          { return s.d.Prune }
+func (s decl) SupportsSymmetry() bool       { return s.d.Symmetry }
 func (s decl) Unbounded() bool              { return s.d.Unbounded }
 func (s decl) Sampling() Sampling           { return s.d.Sampling }
 func (s decl) Validate(p Params) error {
@@ -363,11 +377,22 @@ func Factory(s Spec, p Params) func() explore.Session {
 // Config folds the engine-level params of a resolved assignment into base
 // (crashes → MaxCrashes, steps → MaxSteps when non-zero) and enforces the
 // capability flags: requesting Dedup from a spec without a fingerprint
-// fails up front with explore.ErrNoFingerprint tagged with the spec name.
+// fails up front with explore.ErrNoFingerprint tagged with the spec name,
+// and requesting Symmetry from a spec without the capability (or without
+// Dedup alongside) fails with explore.ErrNoSymmetry /
+// explore.ErrSymmetryNeedsDedup likewise.
 func Config(s Spec, p Params, base explore.Config) (explore.Config, error) {
 	base.MaxCrashes = p[ParamCrashes]
 	if v := p[ParamSteps]; v > 0 {
 		base.MaxSteps = v
+	}
+	if base.Symmetry {
+		if !s.SupportsSymmetry() {
+			return base, fmt.Errorf("spec %q: %w", s.Name(), explore.ErrNoSymmetry)
+		}
+		if !base.Dedup {
+			return base, fmt.Errorf("spec %q: %w", s.Name(), explore.ErrSymmetryNeedsDedup)
+		}
 	}
 	if base.Dedup && !s.SupportsDedup() {
 		return base, fmt.Errorf("spec %q: %w", s.Name(), explore.ErrNoFingerprint)

@@ -30,7 +30,11 @@
 //     byte-identical run scripts under a fixed seed, and — on exhaustible
 //     cells — every sampled run's outcome is contained in the exhaustive
 //     outcome set (sampling may only re-visit behaviors the tree holds,
-//     never invent new ones).
+//     never invent new ones);
+//   - symmetry soundness (symmetry.go): specs declaring SupportsSymmetry
+//     preserve the orbit-canonical outcome set with symmetry reduction on
+//     and off, composed with pruning, and their checkers are invariant
+//     under explicit process permutations of sampled run scripts.
 package spectest
 
 import (
@@ -168,6 +172,10 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 		}
 	}
 
+	// Same contract for the symmetry capability (symmetry.go): flag/session
+	// agreement plus typed rejections of every invalid request shape.
+	symmetryCapability(t, s, p, base)
+
 	// Replay + checker determinism: the sequential walk is a deterministic
 	// function of (spec, params, config).
 	a := mustExplore(t, s, p, base, false)
@@ -241,6 +249,10 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 			gotP, _ := coverage(t, s, p, bothCfg)
 			compareCoverage(t, "prune+dedup", pruned, gotP)
 		}
+	}
+
+	if s.SupportsSymmetry() {
+		symmetryCell(t, s, p, base, opt)
 	}
 }
 

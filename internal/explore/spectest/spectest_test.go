@@ -1,10 +1,13 @@
 package spectest_test
 
 import (
+	"fmt"
 	"testing"
 
+	"mpcn/internal/explore/sample"
 	"mpcn/internal/explore/spec"
 	"mpcn/internal/explore/spectest"
+	"mpcn/internal/sched"
 
 	// Register every built-in scenario: the suite runs against spec.All().
 	_ "mpcn/internal/explore/sessions"
@@ -38,5 +41,71 @@ func TestConformanceAllSpecs(t *testing.T) {
 		t.Run(s.Name(), func(t *testing.T) {
 			spectest.Conformance(t, s, options(s))
 		})
+	}
+}
+
+// TestSymmetryVerdictPermutationInvariance is the cross-spec witness behind
+// the Symmetry capability declarations: for every registered spec declaring
+// SupportsSymmetry, checker verdicts are invariant under renaming the
+// processes of a sampled schedule. A spec whose checker secretly privileges
+// a process identity (e.g. "process 0 must win") fails here before its
+// declaration can mislead the reduction.
+func TestSymmetryVerdictPermutationInvariance(t *testing.T) {
+	symmetric := 0
+	for _, s := range spec.All() {
+		if !s.SupportsSymmetry() {
+			continue
+		}
+		symmetric++
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			p, err := spec.Resolve(s, nil)
+			if err != nil {
+				t.Fatalf("Resolve: %v", err)
+			}
+			n := 0
+			var scripts [][]string
+			cfg := sample.Config{
+				Samples:    20,
+				Seed:       11,
+				MaxCrashes: 1,
+				MaxSteps:   p[spec.ParamSteps],
+				Depth:      s.Sampling().Depth,
+				OnSample: func(i int, script []string) {
+					scripts = append(scripts, append([]string(nil), script...))
+				},
+			}
+			if _, err := sample.Run(s.New(p), sample.StrategyWalk, cfg); err != nil {
+				t.Fatalf("sampling: %v", err)
+			}
+			sess := s.New(p)
+			for si, script := range scripts {
+				res, err := spectest.ReplayScript(sess, script, p[spec.ParamSteps])
+				if err != nil {
+					t.Fatalf("raw replay of sample %d: %v", si, err)
+				}
+				n = len(res.Outcomes)
+				raw := fmt.Sprint(sess.Check(res))
+				// A full rotation of the process identities.
+				pi := make([]sched.ProcID, n)
+				for i := range pi {
+					pi[i] = sched.ProcID((i + 1) % n)
+				}
+				permuted, err := spectest.PermuteScript(script, pi)
+				if err != nil {
+					t.Fatalf("permuting sample %d: %v", si, err)
+				}
+				pres, err := spectest.ReplayScript(sess, permuted, p[spec.ParamSteps])
+				if err != nil {
+					t.Fatalf("permuted replay of sample %d: %v\nraw:      %v\npermuted: %v", si, err, script, permuted)
+				}
+				if got := fmt.Sprint(sess.Check(pres)); got != raw {
+					t.Errorf("verdict changed under permutation on sample %d: %q vs %q", si, raw, got)
+				}
+			}
+		})
+	}
+	if symmetric < 3 {
+		t.Fatalf("only %d symmetry-declaring specs; commitadopt, registers and testandset should be present", symmetric)
 	}
 }

@@ -107,11 +107,14 @@ func (a *Array[T]) Write(e *sched.Env, i int, v T) {
 }
 
 // Fingerprint implements sched.Fingerprinter: it folds the array's identity
-// and every cell value in index order.
+// and every cell value in index order. Cell i routes through digest lane i,
+// so arrays indexed by process (cell i written by process i) canonicalize
+// under symmetry reduction; on a plain FP, Lane is the identity and the fold
+// is the exact in-order fold.
 func (a *Array[T]) Fingerprint(h *sched.FP) {
 	h.Label(a.writeL[0])
 	for i := range a.cells {
-		h.Value(a.cells[i])
+		h.Lane(sched.ProcID(i)).Value(a.cells[i])
 	}
 }
 

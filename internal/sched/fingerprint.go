@@ -21,12 +21,106 @@ type Fingerprint struct {
 // commutatively — see Mix — for genuinely unordered collections such as
 // maps).
 //
-// FP is a plain value (two words, no heap state): hashing allocates nothing
-// as long as the values folded are label IDs, integers and booleans. Value
-// falls back to reflection-free type switching and, as a last resort, to
-// fmt formatting (which allocates) for exotic types.
+// The zero FP is a plain value (two words, no heap state): hashing allocates
+// nothing as long as the values folded are label IDs, integers and booleans.
+// Value falls back to reflection-free type switching and, as a last resort,
+// to fmt formatting (which allocates) for exotic types.
+//
+// NewOrbitFP builds an FP in orbit-canonical mode: it additionally carries
+// one digest lane per process, and Sum folds the lane digests in sorted
+// order, so state that reaches the hash through the lanes is canonical under
+// process permutation (symmetry reduction). Everything folded into the root
+// FP stays order-sensitive, which is where asymmetric state (partial-order
+// context, rank-keyed structures) belongs. In plain mode Lane returns the
+// root and Sub returns a zero FP, so symmetry-aware fold code is byte-exact
+// with the pre-orbit fold when run on a plain FP.
 type FP struct {
 	a, b uint64
+	orb  *orbit
+}
+
+// orbit is the heap side of an orbit-mode FP: the canonicalization hook, the
+// per-process digest lanes (root only), and reusable scratch. Lanes and the
+// Sub carrier share the root's canon so value canonicalization applies
+// uniformly wherever harness state is folded.
+type orbit struct {
+	canon func(any) any
+	owner ProcID        // lane's process; -1 on the root and the Sub carrier
+	lanes []FP          // root only: one digest lane per process
+	subs  []orbit       // root only: backing storage for the lanes' orbits
+	sums  []Fingerprint // root only: scratch for Sum's sorted lane fold
+	sub   *orbit        // canon-only carrier handed out by Sub
+}
+
+// NewOrbitFP returns an FP in orbit-canonical mode with n per-process digest
+// lanes. canon, when non-nil, is applied to every value folded through Value
+// (on the root, the lanes and Sub carriers alike) before hashing — the hook
+// sessions use to erase value parameterizations that differ only by process
+// identity (e.g. per-process proposal values). Orbit FPs are reusable via
+// Reset; they are not safe for concurrent use.
+func NewOrbitFP(n int, canon func(any) any) *FP {
+	if n <= 0 {
+		panic(fmt.Sprintf("sched: NewOrbitFP needs a positive lane count, got %d", n))
+	}
+	carrier := &orbit{canon: canon, owner: -1}
+	carrier.sub = carrier
+	orb := &orbit{
+		canon: canon,
+		owner: -1,
+		lanes: make([]FP, n),
+		subs:  make([]orbit, n),
+		sums:  make([]Fingerprint, 0, n),
+		sub:   carrier,
+	}
+	for i := range orb.subs {
+		orb.subs[i] = orbit{canon: canon, owner: ProcID(i), sub: carrier}
+		orb.lanes[i] = FP{orb: &orb.subs[i]}
+	}
+	return &FP{orb: orb}
+}
+
+// Symmetric reports whether the FP is in orbit-canonical mode.
+func (h *FP) Symmetric() bool { return h.orb != nil }
+
+// Lanes returns the per-process lane count (0 in plain mode).
+func (h *FP) Lanes() int {
+	if h.orb == nil {
+		return 0
+	}
+	return len(h.orb.lanes)
+}
+
+// Lane returns the digest lane of process id. In plain mode — and for ids
+// outside the lane range, such as object cells beyond the process count — it
+// returns the root FP itself, so fold code written against Lane degrades to
+// the exact plain in-order fold when symmetry is off.
+func (h *FP) Lane(id ProcID) *FP {
+	if h.orb == nil || id < 0 || int(id) >= len(h.orb.lanes) {
+		return h
+	}
+	return &h.orb.lanes[id]
+}
+
+// Sub returns a fresh sub-accumulator for per-element digests (the Mix
+// multiset idiom): a zero FP in plain mode, and a zero-state FP carrying the
+// orbit's canon hook in orbit mode, so element values canonicalize exactly
+// like top-level ones. The returned FP shares no digest state with h.
+func (h *FP) Sub() FP {
+	if h.orb == nil {
+		return FP{}
+	}
+	return FP{orb: h.orb.sub}
+}
+
+// Reset clears the accumulated digest (root and all lanes), keeping the
+// orbit configuration, so one orbit FP can be reused across fingerprints.
+func (h *FP) Reset() {
+	h.a, h.b = 0, 0
+	if h.orb != nil {
+		for i := range h.orb.lanes {
+			h.orb.lanes[i].a, h.orb.lanes[i].b = 0, 0
+		}
+	}
 }
 
 // mixing constants: splitmix64 / murmur3 finalizer multipliers and the
@@ -101,7 +195,29 @@ const (
 	fpTagLabel
 	fpTagProc
 	fpTagOther
+	fpTagOwnCell
 )
+
+// SymLabel folds an interned label the way a symmetric per-process lane
+// needs it: when the label is a per-cell operation (interned via
+// InternIndexed) and the cell index equals the lane's own process, the fold
+// replaces the concrete index with the family's base label plus an "own
+// cell" marker, so two processes parked on their own cell of the same object
+// hash identically up to permutation. Every other label — unindexed
+// operations, and cells of OTHER processes — folds raw: a raw foreign index
+// keeps the canonicalization conservative (two states merge only when their
+// cross-process references literally coincide), which can under-merge but
+// never unsoundly over-merge. On a plain FP, SymLabel is exactly Label.
+func (h *FP) SymLabel(l Label) {
+	if h.orb != nil && h.orb.owner >= 0 {
+		if base, idx, ok := IndexedLabel(l); ok && ProcID(idx) == h.orb.owner {
+			h.Word(fpTagOwnCell)
+			h.Label(base)
+			return
+		}
+	}
+	h.Label(l)
+}
 
 // Value folds a dynamically-typed value, as stored in registers, snapshots
 // and decision logs. Common scalar types are folded without allocation;
@@ -110,6 +226,9 @@ const (
 // acceptable for rare types, but hot-path state should stick to scalars or
 // implement Fingerprinter.
 func (h *FP) Value(v any) {
+	if h.orb != nil && h.orb.canon != nil {
+		v = h.orb.canon(v)
+	}
 	switch t := v.(type) {
 	case nil:
 		h.Word(fpTagNil)
@@ -149,12 +268,54 @@ func (h *FP) Value(v any) {
 }
 
 // Sum finalizes the accumulated state into a Fingerprint. Sum does not
-// consume the FP; more words may be folded and Sum taken again.
+// consume the FP; more words may be folded and Sum taken again. In orbit
+// mode the root digest, the lane count and the per-process lane digests —
+// sorted, so any permutation of lane contents sums identically — are
+// combined into the result.
 func (h *FP) Sum() Fingerprint {
-	return Fingerprint{
-		Lo: Mix(h.a + fpGolden*h.b),
-		Hi: Mix(h.b ^ (h.a>>31 | h.a<<33)),
+	if h.orb != nil && len(h.orb.lanes) > 0 {
+		return h.orbitSum()
 	}
+	return fpSum(h.a, h.b)
+}
+
+// fpSum finalizes one (a, b) lane pair.
+func fpSum(a, b uint64) Fingerprint {
+	return Fingerprint{
+		Lo: Mix(a + fpGolden*b),
+		Hi: Mix(b ^ (a>>31 | a<<33)),
+	}
+}
+
+// fpLess orders Fingerprints lexicographically by (Hi, Lo).
+func fpLess(x, y Fingerprint) bool {
+	return x.Hi < y.Hi || (x.Hi == y.Hi && x.Lo < y.Lo)
+}
+
+// orbitSum folds base digest, lane count and sorted lane digests. Insertion
+// sort over the reusable scratch keeps the decision-boundary hot path free
+// of sort.Slice's allocation; lane counts are process counts (tiny).
+func (h *FP) orbitSum() Fingerprint {
+	t := FP{a: h.a, b: h.b}
+	t.Int(len(h.orb.lanes))
+	sums := h.orb.sums[:0]
+	for i := range h.orb.lanes {
+		ln := &h.orb.lanes[i]
+		s := fpSum(ln.a, ln.b)
+		j := len(sums)
+		sums = append(sums, s)
+		for j > 0 && fpLess(s, sums[j-1]) {
+			sums[j] = sums[j-1]
+			j--
+		}
+		sums[j] = s
+	}
+	h.orb.sums = sums[:0]
+	for _, s := range sums {
+		t.Word(s.Hi)
+		t.Word(s.Lo)
+	}
+	return fpSum(t.a, t.b)
 }
 
 // Observe folds v into the calling process's observation digest when the

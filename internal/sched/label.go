@@ -88,8 +88,12 @@ func InternIndexed(format, name string, n int) []Label {
 		return ls.([]Label)
 	}
 	ls := make([]Label, n)
+	// The family's base label uses cell index -1, which no real cell ever
+	// carries, so it cannot collide with a concrete cell label of the family.
+	base := Intern(fmt.Sprintf(format, name, -1))
 	for i := 0; i < n; i++ {
 		ls[i] = Intern(fmt.Sprintf(format, name, i))
+		recordIndexed(ls[i], base, i)
 	}
 	actual, _ := indexedCache.LoadOrStore(key, ls)
 	return actual.([]Label)
@@ -101,6 +105,63 @@ type indexedKey struct {
 }
 
 var indexedCache sync.Map // indexedKey -> []Label
+
+// indexedMeta records the per-cell structure a label interned by
+// InternIndexed carries: the family's base label (the same format applied at
+// cell index -1) and the concrete cell index. Symmetry-reduced fingerprints
+// (FP.SymLabel) use it to fold "process i parked on its own cell i" without
+// the concrete index, the canonical form under process permutation.
+type indexedMeta struct {
+	base    Label
+	idx     int32
+	indexed bool
+}
+
+// indexedMetas is a Label-indexed side table published copy-on-write through
+// an atomic pointer (same idiom as labelTable.names): reads are lock-free,
+// writes happen only at intern time under the mutex.
+var indexedMetas struct {
+	mu sync.Mutex
+	p  atomic.Pointer[[]indexedMeta]
+}
+
+// recordIndexed publishes the metadata of one indexed label. First write
+// wins: a label reachable through two families (identical rendered strings)
+// keeps its original record.
+func recordIndexed(l, base Label, idx int) {
+	indexedMetas.mu.Lock()
+	defer indexedMetas.mu.Unlock()
+	var src []indexedMeta
+	if p := indexedMetas.p.Load(); p != nil {
+		src = *p
+	}
+	if int(l) < len(src) && src[l].indexed {
+		return
+	}
+	size := len(src)
+	if int(l) >= size {
+		size = int(l) + 1
+	}
+	metas := make([]indexedMeta, size)
+	copy(metas, src)
+	metas[l] = indexedMeta{base: base, idx: int32(idx), indexed: true}
+	indexedMetas.p.Store(&metas)
+}
+
+// IndexedLabel reports whether l was interned by InternIndexed and, if so,
+// returns the family's base label and the cell index. It is lock-free and
+// safe for concurrent use.
+func IndexedLabel(l Label) (base Label, idx int, ok bool) {
+	p := indexedMetas.p.Load()
+	if p == nil || l < 0 || int(l) >= len(*p) {
+		return 0, 0, false
+	}
+	m := (*p)[l]
+	if !m.indexed {
+		return 0, 0, false
+	}
+	return m.base, int(m.idx), true
+}
 
 // NumLabels returns the number of labels interned so far. Labels are dense:
 // every Label returned by Intern is < NumLabels(), which lets replay engines

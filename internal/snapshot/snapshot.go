@@ -78,11 +78,14 @@ func (s *Primitive[T]) Scan(e *sched.Env) []T {
 func (s *Primitive[T]) Len() int { return len(s.cells) }
 
 // Fingerprint implements sched.Fingerprinter: it folds the object's identity
-// and every component in index order.
+// and every component in index order. Component i routes through digest lane
+// i — snapshot components are per-process by construction (process i updates
+// component i) — so the object canonicalizes under symmetry reduction; on a
+// plain FP, Lane is the identity and the fold is the exact in-order fold.
 func (s *Primitive[T]) Fingerprint(h *sched.FP) {
 	h.Label(s.scanL)
 	for i := range s.cells {
-		h.Value(s.cells[i])
+		h.Lane(sched.ProcID(i)).Value(s.cells[i])
 	}
 }
 
