@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json explore-smoke sample-smoke spec-conformance symmetry-conformance experiments docs-check
+.PHONY: build vet test bench bench-json bench-trend throughput-gate profile explore-smoke sample-smoke spec-conformance symmetry-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,28 @@ bench:
 # below 2x.
 bench-json: build
 	$(GO) run ./cmd/benchexplore -o BENCH_explore.json
+
+# Throughput trajectory: print the per-commit runs/sec series the trend
+# tracker has recorded in BENCH_explore.json (see docs/PERFORMANCE.md).
+bench-trend:
+	$(GO) run ./cmd/benchexplore -print-trend -o BENCH_explore.json
+
+# Throughput regression gate (CI's test job): re-measure the tracked trend
+# cells and fail if runs/sec fell more than the tolerance below the last
+# point recorded in the checked-in BENCH_explore.json. -trend-dry keeps the
+# file unwritten; the generous tolerance absorbs runner-speed variance — the
+# gate exists to catch order-of-magnitude hot-path regressions, not to
+# benchmark CI hardware.
+throughput-gate: build
+	$(GO) run ./cmd/benchexplore -trend-only -trend-dry -trend-tolerance 0.6 \
+		-commit "$$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+# CPU+heap profile of the tracked throughput cell (the profile-first loop of
+# docs/PERFORMANCE.md): writes cpu.prof / mem.prof for `go tool pprof`.
+profile: build
+	$(GO) run ./cmd/benchexplore -trend-only -commit profile -o "" -reps 3 \
+		-cpuprofile cpu.prof -memprofile mem.prof
+	@echo "wrote cpu.prof and mem.prof; inspect with: go tool pprof cpu.prof"
 
 # Spec-registry conformance (CI's test job): the spectest suite — checker
 # and fingerprint determinism, dedup/prune outcome-set preservation,

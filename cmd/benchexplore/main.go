@@ -36,9 +36,27 @@
 // series and gate (the CI symmetry-conformance mode); -o "" measures and
 // gates without writing the file.
 //
+// The file additionally carries the per-commit throughput trajectory
+// ("trend"): an append-only series of tracked-cell measurements, one point
+// per recorded commit. The tracked cell is the three-process crash-free
+// commit-adopt exhaustion under the sequential session engine — the
+// throughput-campaign workload (deep enough to amortize setup, converging
+// enough to exercise the batched-grant fast path). Every full run and every
+// -trend-only run appends a point (stamped with -commit) and gates the fresh
+// runs/sec against the last recorded point within -trend-tolerance: the
+// throughput regression gate, wired into CI next to the dedup-reduction and
+// orbit-collapse gates. -trend-dry gates against the checked-in trajectory
+// without rewriting the file (the CI mode). -print-trend prints the recorded
+// series and exits (`make bench-trend`).
+//
+// -cpuprofile/-memprofile write pprof profiles of the measurement run — the
+// profile-gated optimization workflow (`make profile`).
+//
 // Usage:
 //
 //	benchexplore [-o BENCH_explore.json] [-workers N] [-reps 3] [-probe 20000] [-samples 4000] [-symmetry-only]
+//	benchexplore -trend-only [-trend-dry] [-commit abc1234] [-trend-tolerance 0.25]
+//	benchexplore -print-trend
 package main
 
 import (
@@ -47,6 +65,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -102,20 +121,98 @@ type Report struct {
 	Workers       int      `json:"workers"`
 	Reps          int      `json:"reps"`
 	Records       []Record `json:"records"`
+	// Trend is the append-only per-commit throughput trajectory of the
+	// tracked cells; every run appends one point and gates against the last.
+	Trend []TrendPoint `json:"trend,omitempty"`
+}
+
+// TrendCell is one tracked-cell measurement inside a trend point.
+type TrendCell struct {
+	Runs       int     `json:"runs"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+}
+
+// TrendPoint is one commit's entry in the throughput trajectory. Cells is
+// keyed "spec|params|engine".
+type TrendPoint struct {
+	Commit    string               `json:"commit"`
+	Unix      int64                `json:"unix"`
+	GoVersion string               `json:"go_version"`
+	Cells     map[string]TrendCell `json:"cells"`
+}
+
+// benchOptions carries the flag set through the run.
+type benchOptions struct {
+	out        string
+	workers    int
+	reps       int
+	probe      int
+	samples    int
+	symOnly    bool
+	trendOnly  bool
+	trendDry   bool
+	printTrend bool
+	commit     string
+	trendTol   float64
+	cpuprofile string
+	memprofile string
 }
 
 func main() {
-	out := flag.String("o", "BENCH_explore.json", "output file (empty = measure and gate without writing)")
-	workers := flag.Int("workers", 0, "parallel worker-pool size (<= 0 selects the default)")
-	reps := flag.Int("reps", 3, "repetitions per cell; the best rep is reported")
-	probe := flag.Int("probe", 20000, "exhaustibility probe: skip sweeps that exceed this many runs")
-	samples := flag.Int("samples", 4000, "sampling-series budget per spec (specs may declare smaller)")
-	symOnly := flag.Bool("symmetry-only", false, "run only the symmetry series and its gate (the CI symmetry-conformance mode)")
+	var o benchOptions
+	flag.StringVar(&o.out, "o", "BENCH_explore.json", "output file (empty = measure and gate without writing)")
+	flag.IntVar(&o.workers, "workers", 0, "parallel worker-pool size (<= 0 selects the default)")
+	flag.IntVar(&o.reps, "reps", 3, "repetitions per cell; the best rep is reported")
+	flag.IntVar(&o.probe, "probe", 20000, "exhaustibility probe: skip sweeps that exceed this many runs")
+	flag.IntVar(&o.samples, "samples", 4000, "sampling-series budget per spec (specs may declare smaller)")
+	flag.BoolVar(&o.symOnly, "symmetry-only", false, "run only the symmetry series and its gate (the CI symmetry-conformance mode)")
+	flag.BoolVar(&o.trendOnly, "trend-only", false, "measure only the tracked trend cells, gate against the last recorded point, and append (the CI throughput-gate mode)")
+	flag.BoolVar(&o.trendDry, "trend-dry", false, "with -trend-only: gate against the recorded trend but leave the file unwritten (CI reads the checked-in trajectory without dirtying it)")
+	flag.BoolVar(&o.printTrend, "print-trend", false, "print the recorded trend series and exit without measuring")
+	flag.StringVar(&o.commit, "commit", "", "commit hash recorded in the appended trend point")
+	flag.Float64Var(&o.trendTol, "trend-tolerance", 0.25, "allowed fractional runs/sec drop vs the last recorded trend point before the gate fails")
+	flag.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the measurement run to this file")
+	flag.StringVar(&o.memprofile, "memprofile", "", "write a heap profile (after a final GC) to this file")
 	flag.Parse()
-	if err := run(*out, *workers, *reps, *probe, *samples, *symOnly); err != nil {
+	if err := runMain(o); err != nil {
 		fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func runMain(o benchOptions) error {
+	if o.printTrend {
+		return printTrendSeries(o.out)
+	}
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if o.memprofile != "" {
+		defer func() {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
+				return
+			}
+			runtime.GC() // retained allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchexplore: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+	return run(o)
 }
 
 // sweeps derives the benchmark cells from the registry: per spec, the
@@ -138,21 +235,45 @@ func sweeps() ([]sweep, error) {
 	return out, nil
 }
 
-func run(out string, workers, reps, probe, samples int, symOnly bool) error {
+func run(o benchOptions) error {
+	out, workers, reps, probe, samples := o.out, o.workers, o.reps, o.probe, o.samples
 	if workers <= 0 {
 		workers = explore.DefaultWorkers()
 	}
 	if reps < 1 {
 		reps = 1
 	}
+	// The trend series is append-only: carry the recorded trajectory forward
+	// from the existing file (absent or unreadable = empty history).
+	prior, priorErr := readReport(out)
 	report := Report{
 		GeneratedUnix: time.Now().Unix(),
 		GoVersion:     runtime.Version(),
 		NumCPU:        runtime.NumCPU(),
 		Workers:       workers,
 		Reps:          reps,
+		Trend:         prior.Trend,
 	}
-	if symOnly {
+	if o.trendOnly {
+		// CI throughput-gate mode: measure only the tracked cells, gate, and
+		// append — the rest of the file (records and metadata) is preserved.
+		// -trend-dry gates without writing (the measurement still ran and the
+		// gate still failed the process on a regression).
+		trend, err := appendTrend(prior.Trend, o, reps)
+		if err != nil {
+			return err
+		}
+		if o.trendDry {
+			return nil
+		}
+		if priorErr != nil {
+			report.Trend = trend
+			return write(out, report)
+		}
+		prior.Trend = trend
+		return write(out, prior)
+	}
+	if o.symOnly {
 		symmetric, err := symmetrySeries(reps)
 		if err != nil {
 			return err
@@ -250,7 +371,149 @@ func run(out string, workers, reps, probe, samples int, symOnly bool) error {
 	if err := sampledSpecsPresent(report.Records); err != nil {
 		return err
 	}
+	trend, err := appendTrend(report.Trend, o, reps)
+	if err != nil {
+		return err
+	}
+	report.Trend = trend
 	return write(out, report)
+}
+
+// readReport parses an existing report file (the append-mode input).
+func readReport(path string) (Report, error) {
+	var r Report
+	if path == "" {
+		return r, os.ErrNotExist
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// trackedCells returns the trend-tracked sweeps: the throughput-campaign
+// workloads whose runs/sec series gates regressions per commit. Currently the
+// single tracked cell is the three-process crash-free commit-adopt exhaustion
+// (756k runs at depth 15: deep enough to amortize per-run setup, converging
+// enough to exercise every batching fast path).
+func trackedCells() ([]sweep, error) {
+	s, err := spec.Lookup("commitadopt")
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	p, err := spec.Resolve(s, spec.Params{"n": 3, spec.ParamCrashes: 0})
+	if err != nil {
+		return nil, fmt.Errorf("trend: %w", err)
+	}
+	return []sweep{{name: "commitadopt/n=3", spec: s, p: p}}, nil
+}
+
+// trendKey names one tracked cell in a trend point.
+func trendKey(sw sweep, engine string) string {
+	return sw.spec.Name() + "|" + sw.p.String() + "|" + engine
+}
+
+// appendTrend measures the tracked cells, gates the fresh throughput against
+// the last recorded point, and returns the series with the new point
+// appended.
+func appendTrend(trend []TrendPoint, o benchOptions, reps int) ([]TrendPoint, error) {
+	cells, err := trackedCells()
+	if err != nil {
+		return nil, err
+	}
+	point := TrendPoint{
+		Commit:    o.commit,
+		Unix:      time.Now().Unix(),
+		GoVersion: runtime.Version(),
+		Cells:     make(map[string]TrendCell, len(cells)),
+	}
+	if point.Commit == "" {
+		point.Commit = "unrecorded"
+	}
+	const engine = "sequential-session"
+	for _, sw := range cells {
+		best, err := measure(sw, engine, 0, reps)
+		if err != nil {
+			return nil, fmt.Errorf("trend %s/%s: %w", sw.name, engine, err)
+		}
+		key := trendKey(sw, engine)
+		point.Cells[key] = TrendCell{Runs: best.Runs, RunsPerSec: best.RunsPerSec()}
+		fmt.Printf("%-28s %-26s %8d runs %10.0f runs/sec (trend)\n",
+			sw.name, engine, best.Runs, best.RunsPerSec())
+	}
+	if err := trendGate(trend, point, o.trendTol); err != nil {
+		return nil, err
+	}
+	return append(trend, point), nil
+}
+
+// trendGate compares the fresh point against the last recorded one: a
+// tracked cell's runs/sec may not drop by more than the tolerance fraction.
+// A changed visited-run count is reported but not gated — the state space
+// legitimately moves when specs change; throughput is what regresses
+// silently.
+func trendGate(trend []TrendPoint, point TrendPoint, tol float64) error {
+	if len(trend) == 0 {
+		return nil
+	}
+	last := trend[len(trend)-1]
+	for key, cur := range point.Cells {
+		prev, ok := last.Cells[key]
+		if !ok {
+			continue
+		}
+		if prev.Runs != cur.Runs {
+			fmt.Printf("trend note: %s visited %d runs, last recorded point (%s) visited %d\n",
+				key, cur.Runs, last.Commit, prev.Runs)
+		}
+		floor := prev.RunsPerSec * (1 - tol)
+		if cur.RunsPerSec < floor {
+			return fmt.Errorf("throughput regression: %s at %.0f runs/sec is below %.0f (last recorded %.0f at %s, tolerance %.0f%%)",
+				key, cur.RunsPerSec, floor, prev.RunsPerSec, last.Commit, tol*100)
+		}
+		fmt.Printf("trend gate: %s %.0f -> %.0f runs/sec (%.2fx vs %s)\n",
+			key, prev.RunsPerSec, cur.RunsPerSec, cur.RunsPerSec/prev.RunsPerSec, last.Commit)
+	}
+	return nil
+}
+
+// printTrendSeries renders the recorded trajectory (`make bench-trend`).
+func printTrendSeries(path string) error {
+	r, err := readReport(path)
+	if err != nil {
+		return fmt.Errorf("print-trend: %w", err)
+	}
+	if len(r.Trend) == 0 {
+		fmt.Println("no trend points recorded")
+		return nil
+	}
+	keys := make(map[string]bool)
+	for _, pt := range r.Trend {
+		for k := range pt.Cells {
+			keys[k] = true
+		}
+	}
+	for k := range keys {
+		fmt.Printf("%s:\n", k)
+		var first float64
+		for _, pt := range r.Trend {
+			c, ok := pt.Cells[k]
+			if !ok {
+				continue
+			}
+			if first == 0 {
+				first = c.RunsPerSec
+			}
+			fmt.Printf("  %-12s %s  %8d runs %10.0f runs/sec %6.2fx\n",
+				pt.Commit, time.Unix(pt.Unix, 0).UTC().Format("2006-01-02"),
+				c.Runs, c.RunsPerSec, c.RunsPerSec/first)
+		}
+	}
+	return nil
 }
 
 // write serializes the report; an empty path means "measure and gate only".

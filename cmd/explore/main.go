@@ -57,6 +57,12 @@
 // -list) accept it — others reject it up front, like -dedup on a
 // fingerprint-less spec. See docs/SYMMETRY.md.
 //
+// -cpuprofile and -memprofile write pprof profiles of the sweep (the
+// throughput-campaign workflow: `make profile` captures the tracked cell,
+// `go tool pprof` attributes the hot path). The memory profile is written at
+// exit after a final GC, so it reflects retained allocations, not transient
+// garbage.
+//
 // -sample pct|walk|swarm draws -samples seeded runs per grid cell instead of
 // enumerating (crash budgets still come from -crashes; -depth sets the PCT
 // depth d, -seed the stream seed). Sample i is a pure function of (seed, i),
@@ -73,6 +79,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -106,6 +114,44 @@ type options struct {
 	depth    int
 	seed     int64
 	allSpecs bool
+
+	cpuprofile string
+	memprofile string
+}
+
+// startProfiles begins the requested pprof captures and returns the stop
+// function run uses as a deferred finalizer on every exit path.
+func startProfiles(o options) (func(), error) {
+	var cpu *os.File
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if o.memprofile != "" {
+			f, err := os.Create(o.memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+				return
+			}
+			runtime.GC() // retained allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "explore: %v\n", err)
+			}
+			f.Close()
+		}
+	}, nil
 }
 
 // setFlags collects repeatable -set name=v1,v2 assignments.
@@ -146,9 +192,17 @@ func run(args []string, out io.Writer) int {
 	fs.IntVar(&o.depth, "depth", 0, "PCT depth d: d-1 priority-change points per run (0 = spec/engine default)")
 	fs.Int64Var(&o.seed, "seed", 1, "base seed of the sampled schedule stream")
 	fs.BoolVar(&o.allSpecs, "allspecs", false, "with -sample: sweep every registered spec at its declared defaults and sampling budget")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	stopProfiles, profErr := startProfiles(o)
+	if profErr != nil {
+		fmt.Fprintf(os.Stderr, "explore: %v\n", profErr)
+		return 1
+	}
+	defer stopProfiles()
 	if o.list {
 		printList(out)
 		return 0

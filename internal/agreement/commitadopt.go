@@ -22,7 +22,7 @@ import (
 // commit. The implementation is the standard two-phase snapshot protocol.
 type CommitAdopt struct {
 	name  string
-	phase [2]snapshot.Snapshot[caCell]
+	phase [2]*snapshot.Primitive[caCell]
 	done  []bool
 }
 
@@ -45,8 +45,8 @@ func (c caCell) Fingerprint(h *sched.FP) {
 // routing, so the whole object canonicalizes under symmetry reduction (Lane
 // is the identity on a plain FP).
 func (ca *CommitAdopt) Fingerprint(h *sched.FP) {
-	ca.phase[0].(sched.Fingerprinter).Fingerprint(h)
-	ca.phase[1].(sched.Fingerprinter).Fingerprint(h)
+	ca.phase[0].Fingerprint(h)
+	ca.phase[1].Fingerprint(h)
 	for i, d := range ca.done {
 		h.Lane(sched.ProcID(i)).Bool(d)
 	}
@@ -59,11 +59,23 @@ func NewCommitAdopt(name string, n int) *CommitAdopt {
 	}
 	return &CommitAdopt{
 		name: name,
-		phase: [2]snapshot.Snapshot[caCell]{
+		phase: [2]*snapshot.Primitive[caCell]{
 			snapshot.NewPrimitive[caCell](name+".ph1", n),
 			snapshot.NewPrimitive[caCell](name+".ph2", n),
 		},
 		done: make([]bool, n),
+	}
+}
+
+// Reset returns the object to its freshly constructed state — both phase
+// memories and the per-process proposed flags cleared — without re-interning
+// any step labels, so replay engines can reuse one object across millions of
+// runs instead of reconstructing it.
+func (ca *CommitAdopt) Reset() {
+	ca.phase[0].Reset()
+	ca.phase[1].Reset()
+	for i := range ca.done {
+		ca.done[i] = false
 	}
 }
 
@@ -82,8 +94,10 @@ func (ca *CommitAdopt) Propose(e *sched.Env, v any) (any, bool) {
 
 	// Phase 1: publish the proposal; if every visible phase-1 value equals
 	// ours, carry a phase-2 vote for v, else a conflict marker (nil vote).
+	// Both scans use the zero-copy view: each is fully consumed before the
+	// proposer's next step, so the live cells cannot change underneath.
 	ca.phase[0].Update(e, me, caCell{set: true, v: v})
-	s1 := ca.phase[0].Scan(e)
+	s1 := ca.phase[0].ScanView(e)
 	unanimous := true
 	for _, c := range s1 {
 		if c.set && c.v != v {
@@ -99,7 +113,7 @@ func (ca *CommitAdopt) Propose(e *sched.Env, v any) (any, bool) {
 	// Phase 2: publish the vote. If all visible votes are for the same
 	// non-nil value, commit it; if any vote names a value, adopt it.
 	ca.phase[1].Update(e, me, vote)
-	s2 := ca.phase[1].Scan(e)
+	s2 := ca.phase[1].ScanView(e)
 	var named any
 	commit := true
 	for _, c := range s2 {

@@ -1,6 +1,6 @@
 // The visited-state store behind Config.Dedup: a lock-striped,
-// power-of-two-sharded fingerprint set with a bounded-memory eviction policy
-// and per-shard stats.
+// power-of-two-sharded fingerprint set with a bounded-memory eviction policy,
+// per-shard stats, and a lock-free read path.
 //
 // Exploration with Dedup computes a canonical state fingerprint at every NEW
 // decision node (sched control points + the harness's Session.Fingerprint)
@@ -43,12 +43,29 @@
 // but which branches get cut — and hence the visited-run count — depends on
 // worker timing; only the sequential explorer's dedup run counts are
 // deterministic.
+//
+// # Concurrency: seqlock entries, lock-free probes
+//
+// Each slot is three atomic 64-bit words {lo, hi, stamp} written seqlock
+// style: a writer (always under the shard mutex, so writers are mutually
+// exclusive) first stores stamp=0, then lo and hi, then the new nonzero
+// stamp. Stamps are draws from a monotone per-shard counter, so a stamp
+// value never repeats. A probe is lock-free: it loads the stamp (0 means
+// empty or mid-write — skip), loads lo/hi, and on a match re-loads the stamp
+// to verify nothing moved underneath; since stamps never repeat, an
+// unchanged stamp proves the two fingerprint words were stable. A probe
+// that finds its fingerprint returns "visited" without ever taking the lock
+// (the approximate-LRU stamp refresh is a best-effort CAS); a probe that
+// misses — or reads a torn slot — falls back to the mutex, re-probes, and
+// inserts, which preserves the store's exactness guarantee: for each
+// resident fingerprint exactly one caller ever gets "not visited".
 
 package explore
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"mpcn/internal/sched"
 )
@@ -63,30 +80,35 @@ const (
 	// zero: 64 MiB ≈ 2.7M resident states.
 	DefaultDedupMem = 64 << 20
 	// DefaultDedupShards is the lock-stripe count when Config.DedupShards is
-	// zero. 64 shards keep contention negligible for any sane worker count.
+	// zero. 64 shards keep write contention negligible for any sane worker
+	// count (reads never contend: probes are lock-free).
 	DefaultDedupShards = 64
 )
 
-// dedupEntry is one resident fingerprint. stamp is the shard-local insertion
-// (or last-hit) sequence number; 0 marks an empty slot.
+// dedupEntry is one resident fingerprint: a seqlock of three atomic words.
+// stamp is the shard-local insertion (or last-hit) sequence number; 0 marks
+// a slot that is empty or mid-write.
 type dedupEntry struct {
-	lo, hi uint64
-	stamp  uint64
+	lo, hi atomic.Uint64
+	stamp  atomic.Uint64
 }
 
-// dedupShard is one lock stripe: a power-of-two open-addressing table with
+// dedupShard is one stripe: a power-of-two open-addressing table with
 // window-local oldest-entry eviction (an approximate LRU — hits refresh the
-// stamp — that makes the store's memory strictly bounded).
+// stamp — that makes the store's memory strictly bounded). The mutex guards
+// writes only; probes read the seqlock entries lock-free. The counters are
+// atomic and exact: every visit increments lookups once and exactly one of
+// hits or inserts.
 type dedupShard struct {
 	mu      sync.Mutex
 	slots   []dedupEntry
 	mask    uint64
-	stamp   uint64
-	occ     int
-	lookups int64
-	hits    int64
-	inserts int64
-	evicted int64
+	stamp   atomic.Uint64
+	occ     atomic.Int64
+	lookups atomic.Int64
+	hits    atomic.Int64
+	inserts atomic.Int64
+	evicted atomic.Int64
 }
 
 // dedupStore is the sharded visited-state set. Shard selection uses the
@@ -137,45 +159,78 @@ func newDedupStore(memBytes, shards int) *dedupStore {
 // visit reports whether fp was already in the store, inserting it if not.
 // Exactly one caller ever gets "false" for a given resident fingerprint; a
 // full probe window evicts its oldest entry (bounded memory, approximate
-// LRU).
+// LRU). The hit path is lock-free (see the package comment); only a miss or
+// a torn read takes the shard mutex.
 func (st *dedupStore) visit(fp sched.Fingerprint) bool {
 	sh := &st.shards[fp.Hi&st.mask]
+	sh.lookups.Add(1)
+	home := fp.Lo
+	for i := uint64(0); i < dedupProbeWindow; i++ {
+		s := &sh.slots[(home+i)&sh.mask]
+		st1 := s.stamp.Load()
+		if st1 == 0 {
+			continue // empty or mid-write; the slow path re-checks under the lock
+		}
+		if s.lo.Load() == fp.Lo && s.hi.Load() == fp.Hi {
+			if s.stamp.Load() != st1 {
+				break // torn read: a writer moved the slot; resolve under the lock
+			}
+			sh.hits.Add(1)
+			// Best-effort LRU refresh: keep hot states resident. A failed CAS
+			// means a writer (or another hit) already restamped the slot.
+			s.stamp.CompareAndSwap(st1, sh.stamp.Add(1))
+			return true
+		}
+	}
+	return sh.visitSlow(fp)
+}
+
+// visitSlow is the write path: under the shard mutex it re-probes (the
+// fingerprint may have been inserted since the lock-free miss) and inserts
+// into a free slot or over the window's oldest entry. It reports a hit
+// exactly like the fast path would.
+func (sh *dedupShard) visitSlow(fp sched.Fingerprint) bool {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.lookups++
 	home := fp.Lo
 	victim := -1
 	var victimStamp uint64
 	free := -1
 	for i := uint64(0); i < dedupProbeWindow; i++ {
 		s := &sh.slots[(home+i)&sh.mask]
-		if s.stamp == 0 {
+		stamp := s.stamp.Load()
+		if stamp == 0 {
 			if free < 0 {
 				free = int((home + i) & sh.mask)
 			}
 			continue
 		}
-		if s.lo == fp.Lo && s.hi == fp.Hi {
-			sh.hits++
-			sh.stamp++
-			s.stamp = sh.stamp // refresh: hot states stay resident
+		if s.lo.Load() == fp.Lo && s.hi.Load() == fp.Hi {
+			sh.hits.Add(1)
+			s.stamp.Store(sh.stamp.Add(1)) // refresh: hot states stay resident
 			return true
 		}
-		if victim < 0 || s.stamp < victimStamp {
+		if victim < 0 || stamp < victimStamp {
 			victim = int((home + i) & sh.mask)
-			victimStamp = s.stamp
+			victimStamp = stamp
 		}
 	}
 	slot := free
 	if slot < 0 {
 		slot = victim
-		sh.evicted++
+		sh.evicted.Add(1)
 	} else {
-		sh.occ++
+		sh.occ.Add(1)
 	}
-	sh.stamp++
-	sh.inserts++
-	sh.slots[slot] = dedupEntry{lo: fp.Lo, hi: fp.Hi, stamp: sh.stamp}
+	sh.inserts.Add(1)
+	// Seqlock write order: empty the slot, fill the fingerprint words, then
+	// publish with the fresh stamp. Concurrent probes either skip the slot
+	// (stamp 0) or detect the restamp and fall back here.
+	s := &sh.slots[slot]
+	s.stamp.Store(0)
+	s.lo.Store(fp.Lo)
+	s.hi.Store(fp.Hi)
+	s.stamp.Store(sh.stamp.Add(1))
 	return false
 }
 
@@ -220,14 +275,12 @@ func (st *dedupStore) snapshot() DedupStats {
 	d.Shards = len(st.shards)
 	for i := range st.shards {
 		sh := &st.shards[i]
-		sh.mu.Lock()
-		d.Lookups += sh.lookups
-		d.Hits += sh.hits
-		d.States += sh.inserts
-		d.Evictions += sh.evicted
+		d.Lookups += sh.lookups.Load()
+		d.Hits += sh.hits.Load()
+		d.States += sh.inserts.Load()
+		d.Evictions += sh.evicted.Load()
 		d.Capacity += len(sh.slots)
-		d.Occupied += sh.occ
-		sh.mu.Unlock()
+		d.Occupied += int(sh.occ.Load())
 	}
 	return d
 }
@@ -249,12 +302,11 @@ func (st *dedupStore) shardStats() []ShardStats {
 	out := make([]ShardStats, len(st.shards))
 	for i := range st.shards {
 		sh := &st.shards[i]
-		sh.mu.Lock()
 		out[i] = ShardStats{
-			Shard: i, Lookups: sh.lookups, Hits: sh.hits, States: sh.inserts,
-			Evictions: sh.evicted, Occupied: sh.occ, Capacity: len(sh.slots),
+			Shard: i, Lookups: sh.lookups.Load(), Hits: sh.hits.Load(),
+			States: sh.inserts.Load(), Evictions: sh.evicted.Load(),
+			Occupied: int(sh.occ.Load()), Capacity: len(sh.slots),
 		}
-		sh.mu.Unlock()
 	}
 	return out
 }

@@ -103,6 +103,14 @@ type Config struct {
 	// session-reuse benchmarks and regression tests; the visited tree is
 	// identical either way.
 	Respawn bool
+	// NoBatch disables batched step grants (prefix plans and sprint tails;
+	// see the scripted adversary) while keeping the session-reuse runtime,
+	// forcing every decision through an adversary consultation. The visited
+	// tree, the recorded scripts and all counters are identical either way —
+	// the batched-grant conformance tests replay both and require it — so
+	// the knob exists for differential testing and for measuring what
+	// batching buys. Off by default (batching on).
+	NoBatch bool
 }
 
 // withDefaults normalizes the zero-valued fields.
@@ -235,37 +243,84 @@ type scripted struct {
 	canon     func(any) any
 	symFP     *sched.FP
 
-	// allocEachNext restores the pre-Session behavior of allocating the
-	// alternative slices on every decision (the Respawn baseline); the
-	// default reuses altsBuf/keptBuf across decisions and runs.
-	allocEachNext bool
-	altsBuf       []choice // backs alternatives' unfiltered enumeration
-	keptBuf       []choice // backs the prune-filtered enumeration
+	// Batched-grant state (batch == false: every decision goes through a
+	// Next consultation). altsAt caches the final (post-prune) alternative
+	// list of every depth across replays: ~90% of a replay's decisions are
+	// prefix re-traversals of the previous replay's path, so reset(prefix,
+	// cached=true) keeps the bookkeeping arrays for the shared prefix,
+	// patches the branch entry from altsAt, and pre-commits the whole prefix
+	// as one sched.Decision.Plan — the runtime replays it without consulting
+	// the adversary again. Sprint tails cover the other end of the run: once
+	// a single process remains runnable with no crash budget and no store
+	// probes left to make, every remaining node is a singleton and the run
+	// tail is granted as one sprint (SprintStep records each entry).
+	batch       bool
+	altsBuf     []choice      // scratch: backs the unfiltered enumeration
+	altsAt      [][]choice    // per-depth final alternatives, kept across replays
+	planBuf     []sched.Grant // backs the pre-committed prefix plan
+	pendingPlan bool          // emit choices[0] + planBuf on the next Next
 }
 
 var _ sched.Adversary = (*scripted)(nil)
 
 func newScripted(prefix []int, cfg Config) *scripted {
 	return &scripted{
-		prefix:        prefix,
-		maxCrashes:    cfg.MaxCrashes,
-		prune:         cfg.Prune,
-		indep:         cfg.Independent,
-		allocEachNext: cfg.Respawn,
-		cutAt:         -1,
+		prefix:     prefix,
+		maxCrashes: cfg.MaxCrashes,
+		prune:      cfg.Prune,
+		indep:      cfg.Independent,
+		cutAt:      -1,
 	}
 }
 
 // reset rewinds the adversary for the next replay, keeping its buffers.
-func (s *scripted) reset(prefix []int) {
+//
+// With cached set, prefix must be the backtrack successor of the previous
+// replay's path on this same adversary: taken[:P-1] equal, entry P-1 bumped
+// (P = len(prefix)). The decision tree is a deterministic function of the
+// path, so every per-depth record of the shared prefix — altCounts, prunedAt,
+// the choices the prefix indices select — is byte-identical to what re-walking
+// the prefix would recompute: the arrays are truncated instead, the branch
+// entry is patched from the cached alternatives, and (under batch) the whole
+// prefix is pre-committed as a sched plan so the runtime replays it without
+// consulting the adversary. Depths below len(prefix) never probe the visited
+// store (Next's d >= len(prefix) guard) and never contain a dedup cut (a cut
+// collapses altCounts to 1 below it, so backtracking always branches above
+// any cut), so the cached fast path composes with Dedup and Prune unchanged.
+func (s *scripted) reset(prefix []int, cached bool) {
 	s.prefix = prefix
+	s.cutAt = -1
+	s.cutAlts = 0
+	s.pendingPlan = false
+	if p := len(prefix); s.batch && cached && p > 0 && p <= len(s.taken) {
+		s.taken = append(s.taken[:p-1], prefix[p-1])
+		s.altCounts = s.altCounts[:p]
+		s.prunedAt = s.prunedAt[:p]
+		c := s.altsAt[p-1][prefix[p-1]]
+		s.choices = append(s.choices[:p-1], c)
+		s.crashes = 0
+		if s.maxCrashes > 0 {
+			for _, c := range s.choices {
+				if c.kind == choiceCrash {
+					s.crashes++
+				}
+			}
+		}
+		// planBuf[i] mirrors choices[i+1] (maintained by Next and SprintStep),
+		// so the new plan is a truncation plus the patched branch grant.
+		s.planBuf = s.planBuf[:p-1]
+		if p >= 2 {
+			s.planBuf[p-2] = sched.Grant{ID: c.id, Crash: c.kind == choiceCrash}
+		}
+		s.pendingPlan = true
+		return
+	}
 	s.crashes = 0
 	s.taken = s.taken[:0]
 	s.altCounts = s.altCounts[:0]
 	s.prunedAt = s.prunedAt[:0]
 	s.choices = s.choices[:0]
-	s.cutAt = -1
-	s.cutAlts = 0
+	s.planBuf = s.planBuf[:0]
 }
 
 // setDedup arms (or disarms, store == nil) state deduplication for the next
@@ -361,12 +416,31 @@ func (s *scripted) symFingerprint(v sched.View) sched.Fingerprint {
 // lasts — every runnable process may be crashed instead. With pruning on,
 // alternatives that commute with the previous decision and would produce a
 // non-canonical (descending) order are dropped; see reduce.go. The returned
-// slice aliases the adversary's buffers and is valid until the next call.
+// slice is this depth's altsAt entry — it stays valid across later decisions
+// and replays (until a replay reaches this depth again), which is what lets
+// reset's cached fast path patch a branch choice without re-walking the
+// prefix.
 func (s *scripted) alternatives(v sched.View) []choice {
-	alts := s.altsBuf[:0]
-	if s.allocEachNext {
-		alts = make([]choice, 0, 2*len(v.Runnable))
+	d := len(s.taken)
+	for d >= len(s.altsAt) {
+		s.altsAt = append(s.altsAt, nil)
 	}
+	if !s.prune || len(s.choices) == 0 {
+		// No filtering: enumerate straight into the depth's cached buffer.
+		alts := s.altsAt[d][:0]
+		for _, id := range v.Runnable {
+			alts = append(alts, choice{kind: choiceRun, id: id, label: v.Pending[id]})
+		}
+		if s.crashes < s.maxCrashes {
+			for _, id := range v.Runnable {
+				alts = append(alts, choice{kind: choiceCrash, id: id, label: v.Pending[id]})
+			}
+		}
+		s.altsAt[d] = alts
+		s.prunedAt = append(s.prunedAt, 0)
+		return alts
+	}
+	alts := s.altsBuf[:0]
 	for _, id := range v.Runnable {
 		alts = append(alts, choice{kind: choiceRun, id: id, label: v.Pending[id]})
 	}
@@ -376,21 +450,13 @@ func (s *scripted) alternatives(v sched.View) []choice {
 		}
 	}
 	s.altsBuf = alts
-	if !s.prune || len(s.choices) == 0 {
-		s.prunedAt = append(s.prunedAt, 0)
-		return alts
-	}
 	prev := s.choices[len(s.choices)-1]
-	kept := s.keptBuf[:0]
-	if s.allocEachNext {
-		kept = make([]choice, 0, len(alts))
-	}
+	kept := s.altsAt[d][:0]
 	for _, c := range alts {
 		if s.canonicallyLater(prev, c) {
 			kept = append(kept, c)
 		}
 	}
-	s.keptBuf = kept
 	if len(kept) == 0 {
 		// Every continuation commutes below the previous decision: this
 		// prefix has no canonically-ordered completion. The equivalence
@@ -399,14 +465,26 @@ func (s *scripted) alternatives(v sched.View) []choice {
 		// alternatives (pruning less is always sound, and the fallback is a
 		// deterministic function of the path, which replay requires).
 		s.prunedAt = append(s.prunedAt, 0)
-		return alts
+		kept = append(kept, alts...)
+		s.altsAt[d] = kept
+		return kept
 	}
+	s.altsAt[d] = kept
 	s.prunedAt = append(s.prunedAt, len(alts)-len(kept))
 	return kept
 }
 
 // Next implements sched.Adversary.
 func (s *scripted) Next(v sched.View) sched.Decision {
+	if s.pendingPlan {
+		// Cached prefix replay: the bookkeeping arrays already hold the whole
+		// prefix (see reset), so this single consultation re-issues choices[0]
+		// and pre-commits the rest as a plan the runtime executes unconsulted.
+		s.pendingPlan = false
+		dec := s.decisionFor(s.choices[0])
+		dec.Plan = s.planBuf
+		return dec
+	}
 	alts := s.alternatives(v)
 	if s.store != nil {
 		if d := len(s.taken); s.cutAt < 0 && d >= len(s.prefix) && s.store.visit(s.fingerprint(v)) {
@@ -436,11 +514,45 @@ func (s *scripted) Next(v sched.View) sched.Decision {
 	s.taken = append(s.taken, idx)
 	c := alts[idx]
 	s.choices = append(s.choices, c)
+	if s.batch && len(s.choices) > 1 {
+		s.planBuf = append(s.planBuf, sched.Grant{ID: c.id, Crash: c.kind == choiceCrash})
+	}
 	if c.kind == choiceCrash {
 		s.crashes++
 		return sched.CrashDecision(c.id)
 	}
+	dec := sched.RunDecision(c.id)
+	if s.batch && len(s.taken) >= len(s.prefix) &&
+		len(v.Runnable) == 1 && s.crashes >= s.maxCrashes &&
+		(s.store == nil || s.cutAt >= 0) {
+		// Every remaining node is a singleton: one runnable process, no crash
+		// budget, and no visited-store probes left to make (no store, or the
+		// run is already below a cut — a dedup cut never un-cuts). The run
+		// tail is granted as one sprint; SprintStep records each entry with
+		// exactly the values a per-node consultation would have recorded
+		// (taken 0 of 1 alternative, nothing pruned).
+		dec.Sprint = true
+	}
+	return dec
+}
+
+// decisionFor converts a recorded choice back into the sched decision that
+// produced it.
+func (s *scripted) decisionFor(c choice) sched.Decision {
+	if c.kind == choiceCrash {
+		return sched.CrashDecision(c.id)
+	}
 	return sched.RunDecision(c.id)
+}
+
+// SprintStep implements sched.SprintObserver: each sprinted grant is a
+// singleton decision node, recorded exactly as Next would have.
+func (s *scripted) SprintStep(id sched.ProcID, label sched.Label) {
+	s.taken = append(s.taken, 0)
+	s.altCounts = append(s.altCounts, 1)
+	s.prunedAt = append(s.prunedAt, 0)
+	s.choices = append(s.choices, choice{kind: choiceRun, id: id, label: label})
+	s.planBuf = append(s.planBuf, sched.Grant{ID: id})
 }
 
 // PropertyError wraps a property violation with the decision script that
@@ -509,6 +621,14 @@ type Session struct {
 	// concrete identity affects the run's future or Check's verdict beyond
 	// process naming.
 	Canon func(v any) any
+	// ForeignStep declares that the bodies Make returns may take steps from
+	// helper goroutines (handing their Env to, e.g., internal/bg's simulator
+	// threads). The walker then replays on the channel-based inline protocol
+	// instead of the direct coroutine protocol — a coroutine can only be
+	// suspended from its own goroutine — and disables batched grants, which
+	// only the direct and rendezvous protocols execute. Purely a protocol
+	// selection: the visited tree is identical either way.
+	ForeignStep bool
 }
 
 // runBudget is the shared MaxRuns ticket counter: every complete run takes a
@@ -587,9 +707,11 @@ func (w *walker) close() {
 // replay executes one run with the given decision prefix. Under dedup, only
 // the replay's new tree nodes — depths >= len(prefix) — touch the visited
 // store; shallower decisions re-traverse nodes an earlier replay already
-// fingerprinted. The returned Result is owned by the walker's runtime and
-// valid until the next replay.
-func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
+// fingerprinted. cached asserts that prefix is the backtrack successor of
+// this walker's previous replay (see scripted.reset); pass false for the
+// first replay of a subtree and for frontier probes. The returned Result is
+// owned by the walker's runtime and valid until the next replay.
+func (w *walker) replay(prefix []int, cached bool) (*scripted, *sched.Result, error) {
 	bodies := w.session.Make()
 	var adv *scripted
 	var res *sched.Result
@@ -606,15 +728,19 @@ func (w *walker) replay(prefix []int) (*scripted, *sched.Result, error) {
 			rt.Close()
 		}
 	} else {
+		direct := !w.session.ForeignStep
 		if w.adv == nil {
 			w.adv = newScripted(nil, w.cfg)
+			w.adv.batch = direct && !w.cfg.NoBatch
+			// The dedup wiring is walker-constant, so the pooled adversary is
+			// wired once here rather than per run.
+			w.adv.setDedup(w.store, w.session.Fingerprint, w.cfg.Symmetry, w.session.Canon)
 		}
 		adv = w.adv
-		adv.reset(prefix)
-		adv.setDedup(w.store, w.session.Fingerprint, w.cfg.Symmetry, w.session.Canon)
+		adv.reset(prefix, cached)
 		if w.rt == nil || w.rt.N() != len(bodies) {
 			w.close()
-			w.rt, err = sched.NewSession(len(bodies))
+			w.rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Direct: direct})
 		}
 		if err == nil {
 			res, err = w.rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps, Observe: w.store != nil}, bodies)
@@ -634,6 +760,7 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 	var st subtreeStats
 	cur := append([]int(nil), prefix...)
 	newFrom := len(prefix)
+	cached := false // first replay: the adversary holds another subtree's path
 	for {
 		if w.stopped() {
 			return st, nil
@@ -642,10 +769,11 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 			st.aborted = true
 			return st, nil
 		}
-		adv, res, err := w.replay(cur)
+		adv, res, err := w.replay(cur, cached)
 		if err != nil {
 			return st, err
 		}
+		cached = true // from here every cur is the backtrack successor
 		st.runs++
 		st.cutAlts += adv.cutAlts
 		if d := len(adv.taken); d > st.maxDepth {

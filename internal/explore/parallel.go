@@ -187,7 +187,7 @@ func buildFrontier(w *walker, target int) ([][]int, subtreeStats, error) {
 	for len(queue) > 0 && len(queue) < target && expansions < frontierMaxNodes {
 		p := queue[0]
 		queue = queue[1:]
-		adv, res, err := w.replay(p)
+		adv, res, err := w.replay(p, false)
 		if err != nil {
 			return nil, st, err
 		}

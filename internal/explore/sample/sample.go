@@ -308,7 +308,10 @@ func (w *worker) sampleOne(i int) error {
 	var err error
 	if w.rt == nil || w.rt.N() != len(bodies) {
 		w.close()
-		w.rt, err = sched.NewSession(len(bodies))
+		// Sampling strategies decide step by step (no batched grants), but the
+		// direct protocol's cheap token handoff pays off all the same; bodies
+		// stepping from helper goroutines need the channel-based protocol.
+		w.rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Direct: !w.session.ForeignStep})
 		if err != nil {
 			return fmt.Errorf("%w: %v", explore.ErrRunFailed, err)
 		}

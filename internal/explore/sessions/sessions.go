@@ -132,7 +132,11 @@ func CommitAdopt(n int) func() explore.Session {
 			Canon:     eraseProposals(n),
 			Make: func() []sched.Proc {
 				outs = outs[:0]
-				ca = agreement.NewCommitAdopt("ca", n)
+				if ca == nil {
+					ca = agreement.NewCommitAdopt("ca", n)
+				} else {
+					ca.Reset()
+				}
 				return bodies
 			},
 			Check: func(res *sched.Result) error {
@@ -234,6 +238,10 @@ func BG(n, t int) (func() explore.Session, error) {
 				}
 				return nil
 			},
+			// The engine's coro.Thread goroutines call Env.StepL on the
+			// simulator bodies' behalf: steps arrive from helper goroutines,
+			// so the walker must stay on a channel-based protocol.
+			ForeignStep: true,
 		}
 	}, nil
 }

@@ -19,6 +19,10 @@
 //     identical trees (runs, pruned, depth, verdict);
 //   - sequential/parallel equality: the sharded walk visits the identical
 //     state space (without dedup);
+//   - batched-grant equivalence: the batching transport (Decision.Plan,
+//     Decision.Sprint, the prefix-plan cache) is observationally invisible —
+//     runs, pruned counts, depth, outcome sets and dedup store stats are
+//     byte-identical with explore.Config.NoBatch set;
 //   - fingerprint determinism: two dedup explorations visit identical state
 //     graphs (runs and store stats);
 //   - outcome-set preservation: the set of checker-observable final states
@@ -192,6 +196,17 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 			par.Runs, par.Pruned, par.Exhausted, a.Runs, a.Pruned, a.Exhausted)
 	}
 
+	// Batched-grant conformance: the batching transport (Decision.Plan/Sprint
+	// and the prefix-plan cache) must be observationally invisible — the walk
+	// with batching disabled visits the identical tree.
+	nb := base
+	nb.NoBatch = true
+	ub := mustExplore(t, s, p, nb, false)
+	if ub.Runs != a.Runs || ub.Pruned != a.Pruned || ub.MaxDepth != a.MaxDepth || ub.Exhausted != a.Exhausted {
+		t.Fatalf("batching changed the walk: batched={runs:%d pruned:%d depth:%d} unbatched={runs:%d pruned:%d depth:%d}",
+			a.Runs, a.Pruned, a.MaxDepth, ub.Runs, ub.Pruned, ub.MaxDepth)
+	}
+
 	// Sampler determinism needs no exhaustion: a fixed seed must draw
 	// byte-identical scripts on every built-in strategy.
 	if opt.Samples > 0 {
@@ -224,6 +239,15 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 		compareCoverage(t, "prune", want, pruned)
 	}
 
+	// Batched-grant outcome preservation: the checker-observable final-state
+	// set must be byte-identical with batching on and off.
+	{
+		nb := base
+		nb.NoBatch = true
+		got, _ := coverage(t, s, p, nb)
+		compareCoverage(t, "nobatch", want, got)
+	}
+
 	if s.SupportsDedup() {
 		dedupCfg := base
 		dedupCfg.Dedup = true
@@ -240,6 +264,19 @@ func cell(t *testing.T, s spec.Spec, p spec.Params, opt Options) {
 		if d1.Runs != d2.Runs || d1.Dedup.States != d2.Dedup.States || d1.Dedup.Hits != d2.Dedup.Hits {
 			t.Errorf("fingerprint determinism: {runs:%d states:%d hits:%d} vs {runs:%d states:%d hits:%d}",
 				d1.Runs, d1.Dedup.States, d1.Dedup.Hits, d2.Runs, d2.Dedup.States, d2.Dedup.Hits)
+		}
+
+		// Batching must not move a single store interaction: the dedup walk
+		// with batching disabled visits the same state graph — same runs,
+		// same visited counts, same hits and cuts.
+		nbDedup := dedupCfg
+		nbDedup.NoBatch = true
+		d3 := mustExplore(t, s, p, nbDedup, false)
+		if d3.Runs != d1.Runs || d3.Dedup.States != d1.Dedup.States || d3.Dedup.Hits != d1.Dedup.Hits ||
+			d3.Dedup.CutAlternatives != d1.Dedup.CutAlternatives {
+			t.Errorf("batching changed the dedup walk: batched={runs:%d states:%d hits:%d cut:%d} unbatched={runs:%d states:%d hits:%d cut:%d}",
+				d1.Runs, d1.Dedup.States, d1.Dedup.Hits, d1.Dedup.CutAlternatives,
+				d3.Runs, d3.Dedup.States, d3.Dedup.Hits, d3.Dedup.CutAlternatives)
 		}
 
 		if s.SupportsPrune() {

@@ -41,9 +41,50 @@ type View struct {
 // non-empty Crash list makes this a crash-only round: no step executes and
 // the adversary is consulted again (used by exhaustive exploration, where
 // "crash p" and "run q" are separate decision points).
+//
+// Plan and Sprint are the batched-grant extensions: an adversary that
+// already knows its next decisions pre-commits them and skips the per-step
+// consultation round-trip, the dominant cost of replay engines. Batched
+// grants go through the same per-grant bookkeeping (step counts, budget
+// checks, traces) as consulted ones, so a run's observables are identical
+// whether or not its decisions were batched. The direct and rendezvous
+// session protocols execute them; the inline protocol rejects them with a
+// run error.
 type Decision struct {
 	Run   ProcID
 	Crash []ProcID
+
+	// Plan pre-commits the grants that follow this decision's own Crash/Run:
+	// the runtime executes them in order without consulting the adversary,
+	// checking the step budget before each one. A planned run grant whose
+	// process is not parked fails the run (the plan diverged from the
+	// program, an adversary bug); a planned crash of a non-parked process is
+	// skipped, like an entry of Crash. The slice is copied by the runtime.
+	Plan []Grant
+
+	// Sprint keeps granting Run consecutive steps after this round — without
+	// consulting the adversary — until the process finishes, the step budget
+	// is exhausted, or the run ends. Adversaries that need per-step records
+	// of the sprinted grants implement SprintObserver. Meaningful only with a
+	// valid Run; ignored on crash-only rounds.
+	Sprint bool
+}
+
+// Grant is one pre-committed scheduling action of a batched Decision: run one
+// step of ID, or crash it.
+type Grant struct {
+	ID    ProcID
+	Crash bool
+}
+
+// SprintObserver is implemented by adversaries that need to observe the
+// steps a Decision.Sprint executes on their behalf: the runtime calls
+// SprintStep — with the process and the label it is parked on — immediately
+// before granting each sprinted step (the first, consulted grant of the
+// sprint round is not reported). Implementations must not panic and must not
+// call back into the runtime.
+type SprintObserver interface {
+	SprintStep(id ProcID, label Label)
 }
 
 // RunDecision returns the decision granting one step to id.

@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"fmt"
+	"iter"
+)
+
+// Direct scheduling protocol: every process runs as a coroutine (iter.Pull)
+// resumed by the goroutine that called Session.Run, so the scheduling loop
+// never leaves that goroutine and a token handoff is a coroutine switch —
+// roughly a quarter of the cost of waking a parked goroutine through a
+// channel.
+//
+// Each coroutine is created once per session and iterates one body per run:
+// it suspends at the run boundary between runs, and the first resume of a
+// run doubles as the process's start grant. Crashes are synchronous — the
+// dispatcher sets the crash flag and resumes the victim, StepL re-raises the
+// crash sentinel, the wrapper records the terminal state, and the coroutine
+// suspends back at the run boundary before the resume returns — so none of
+// the inline protocol's detach/await-unwind machinery is needed: the
+// dispatcher can never be a process, and control flow is a plain loop.
+//
+// Batched grants are where the protocol earns its keep: an adopted
+// Decision.Plan (and an active Decision.Sprint) lets StepL consume
+// consecutive self-grants entirely inside the parked process — bookkeeping
+// only, no switch — and other processes' planned grants cost one switch and
+// zero adversary consultations.
+//
+// The constraint that picks the protocol: a coroutine can only be suspended
+// from its own goroutine, so bodies must take their steps on their own
+// execution context. Harnesses whose bodies hand the Env to helper
+// goroutines (internal/bg's simulator threads) must use a channel protocol;
+// explore.Session.ForeignStep declares exactly that.
+
+// startCoro builds the persistent per-process coroutine. The coroutine body
+// does not start until the first resume, which under this protocol is the
+// process's first (start) grant.
+func (s *Session) startCoro(e *Env) (func() (struct{}, bool), func()) {
+	return iter.Pull(func(yield func(struct{}) bool) {
+		e.yield = yield
+		for {
+			s.directRunBody(e)
+			if !yield(struct{}{}) {
+				return // session closed
+			}
+		}
+	})
+}
+
+// directRunBody executes one run's body, recording the terminal state the
+// channel protocols' wrapper defers record: crash sentinels mark the process
+// crashed, foreign panics fail the run (the session stays usable).
+func (s *Session) directRunBody(e *Env) {
+	defer func() {
+		r := recover()
+		s.state[e.id] = stateDone
+		s.pending[e.id] = LabelNone
+		switch {
+		case r == nil:
+			if e.decided {
+				s.statuses[e.id] = StatusDecided
+			} else {
+				s.statuses[e.id] = StatusHalted
+			}
+		case IsCrash(r):
+			s.statuses[e.id] = StatusCrashed
+		default:
+			if e.decided {
+				s.statuses[e.id] = StatusDecided
+			} else {
+				s.statuses[e.id] = StatusHalted
+			}
+			s.dFail = fmt.Errorf("sched: process %d panicked: %v", e.id, r)
+		}
+	}()
+	s.bodies[e.id](e)
+}
+
+// runDirect executes one run under the direct protocol.
+func (s *Session) runDirect(bodies []Proc) (res *Result, err error) {
+	// One function-level recover stands in for a per-consultation
+	// defer/recover around every adversary call: the inNext flag scopes it to
+	// panics raised inside Adversary.Next, so dispatcher bugs still crash.
+	defer func() {
+		if r := recover(); r != nil {
+			if !s.inNext {
+				panic(r)
+			}
+			s.inNext = false
+			s.teardownDirect()
+			res, err = nil, fmt.Errorf("sched: adversary panicked: %v", r)
+		}
+	}()
+	copy(s.bodies, bodies)
+	// The prologue barrier of the channel protocols is a no-op here: every
+	// process starts parked on the synthetic start label, granted when the
+	// adversary first schedules it.
+	for i := 0; i < s.n; i++ {
+		s.state[i] = stateParked
+		s.pending[i] = LabelStart
+	}
+	view := View{
+		Pending: s.pending,
+		Crashed: s.crashed,
+		StepsOf: s.stepsOf,
+	}
+	if s.cfg.Observe {
+		view.Obs = s.obs
+	}
+
+	budgetExhausted := false
+	for {
+		// Pre-committed grants (Decision.Plan) execute without consulting
+		// the adversary. Consecutive self-grants never reach this loop —
+		// StepL consumes them in place — so each iteration here moves the
+		// token or delivers a planned crash.
+		if s.planIdx < len(s.plan) {
+			g := s.plan[s.planIdx]
+			s.planIdx++
+			if g.Crash {
+				if int(g.ID) >= 0 && int(g.ID) < s.n && s.state[g.ID] == stateParked {
+					s.directCrash(g.ID)
+					if s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes {
+						err := fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+							s.crashes, s.cfg.MaxCrashes)
+						s.teardownDirect()
+						return nil, err
+					}
+				}
+				continue
+			}
+			if s.steps >= s.cfg.MaxSteps {
+				budgetExhausted = true
+				s.teardownDirect()
+				break
+			}
+			if int(g.ID) < 0 || int(g.ID) >= s.n || s.state[g.ID] != stateParked {
+				err := fmt.Errorf("sched: planned grant for process %d, which is not parked", g.ID)
+				s.teardownDirect()
+				return nil, err
+			}
+			s.grantBookkeeping(g.ID)
+			if err := s.resumeDirect(g.ID); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// An active sprint only falls through to the dispatcher when StepL's
+		// fast path refused the grant (budget) or the process stopped being
+		// parked (finished, or the plan crashed it).
+		if s.sprint >= 0 {
+			p := s.sprint
+			if s.state[p] == stateParked {
+				budgetExhausted = true
+				s.teardownDirect()
+				break
+			}
+			s.sprint = -1
+		}
+
+		runnable := s.runnable()
+		if len(runnable) == 0 {
+			break
+		}
+		if s.steps >= s.cfg.MaxSteps {
+			budgetExhausted = true
+			s.teardownDirect()
+			break
+		}
+		view.Step = s.steps
+		view.Runnable = runnable
+		s.inNext = true
+		dec := s.adv.Next(view)
+		s.inNext = false
+		for _, c := range dec.Crash {
+			if int(c) < 0 || int(c) >= s.n || s.state[c] != stateParked {
+				continue
+			}
+			s.directCrash(c)
+			if s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes {
+				err := fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+					s.crashes, s.cfg.MaxCrashes)
+				s.teardownDirect()
+				return nil, err
+			}
+		}
+		if len(dec.Plan) > 0 {
+			s.plan = append(s.plan[:0], dec.Plan...)
+			s.planIdx = 0
+		}
+		run := dec.Run
+		if run < 0 && len(dec.Crash) > 0 {
+			// Crash-only round: no step, re-consult the adversary.
+			continue
+		}
+		if int(run) < 0 || int(run) >= s.n || s.state[run] != stateParked {
+			run = s.firstParked()
+			if run < 0 {
+				continue
+			}
+		}
+		if dec.Sprint {
+			s.sprint = run
+		}
+		s.grantBookkeeping(run)
+		if err := s.resumeDirect(run); err != nil {
+			return nil, err
+		}
+	}
+	return s.collect(budgetExhausted), nil
+}
+
+// resumeDirect switches to process id's coroutine and surfaces any foreign
+// panic its body raised as a run error (after tearing the run down).
+func (s *Session) resumeDirect(id ProcID) error {
+	s.dNext[id]()
+	if s.dFail != nil {
+		err := s.dFail
+		s.teardownDirect()
+		return err
+	}
+	return nil
+}
+
+// directCrash crashes the parked process id. A process that has started its
+// body (it was granted at least once this run, so lastLabel is set) is
+// resumed with the crash flag and unwinds to the run boundary before the
+// call returns; a process still parked on its start grant has executed
+// nothing — there is no stack to unwind — and its terminal state is recorded
+// directly, with identical observables.
+func (s *Session) directCrash(id ProcID) {
+	started := s.lastLabel[id] != LabelNone
+	s.lastLabel[id] = s.pending[id]
+	s.crashed[id] = true
+	s.crashes++
+	if started {
+		s.envs[id].crashNext = true
+		s.dNext[id]()
+		return
+	}
+	s.state[id] = stateDone
+	s.pending[id] = LabelNone
+	s.statuses[id] = StatusCrashed
+}
+
+// teardownDirect ends the run early: every parked process is reaped as
+// StatusBlocked (started ones are crash-unwound to the run boundary), and
+// the batched-grant state is dropped.
+func (s *Session) teardownDirect() {
+	s.plan = s.plan[:0]
+	s.planIdx = 0
+	s.sprint = -1
+	for i := 0; i < s.n; i++ {
+		if s.state[i] != stateParked {
+			continue
+		}
+		id := ProcID(i)
+		started := s.lastLabel[id] != LabelNone
+		s.lastLabel[id] = s.pending[id]
+		if started {
+			s.envs[id].crashNext = true
+			s.dNext[id]()
+		} else {
+			s.state[id] = stateDone
+			s.pending[id] = LabelNone
+		}
+		s.statuses[id] = StatusBlocked
+	}
+	s.dFail = nil
+}

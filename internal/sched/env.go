@@ -20,6 +20,12 @@ type Env struct {
 	// the inline protocol it selects the prologue-barrier path of StepL.
 	atStart bool
 
+	// Direct-protocol state: yield suspends this process's coroutine back to
+	// the dispatching goroutine; crashNext, set by the dispatcher before a
+	// crash-delivering resume, makes StepL re-raise the crash sentinel.
+	yield     func(struct{}) bool
+	crashNext bool
+
 	decided  bool
 	decision any
 }
@@ -47,11 +53,44 @@ func (e *Env) Step(label string) {
 
 // StepL is Step for a pre-interned label: the allocation-free hot path.
 func (e *Env) StepL(label Label) {
-	if e.s.inline {
-		e.s.inlinePark(e, label)
+	s := e.s
+	if s.direct {
+		// Batched-grant fast path: a plan whose next grant is this process,
+		// or an active sprint on it, is consumed in place — the grant
+		// bookkeeping inlined, no park/unpark transition, no coroutine
+		// switch. The budget check defers to the dispatcher, which owns
+		// teardown.
+		if i := s.planIdx; i < len(s.plan) {
+			if g := s.plan[i]; !g.Crash && g.ID == e.id && s.steps < s.cfg.MaxSteps {
+				s.planIdx = i + 1
+				s.selfGrant(e.id, label)
+				return
+			}
+		} else if s.sprint == e.id && s.steps < s.cfg.MaxSteps {
+			if s.sprintObs != nil {
+				s.sprintObs.SprintStep(e.id, label)
+			}
+			s.selfGrant(e.id, label)
+			return
+		}
+		s.pending[e.id] = label
+		s.state[e.id] = stateParked
+		if !e.yield(struct{}{}) {
+			// The session was closed while we were parked mid-run (a
+			// contract violation, but don't run the body further): unwind.
+			panic(crashSentinel{id: e.id})
+		}
+		if e.crashNext {
+			e.crashNext = false
+			panic(crashSentinel{id: e.id})
+		}
 		return
 	}
-	e.s.events <- event{id: e.id, kind: evPark, label: label}
+	if s.inline {
+		s.inlinePark(e, label)
+		return
+	}
+	s.events <- event{id: e.id, kind: evPark, label: label}
 	g := <-e.grant
 	if g.crash {
 		panic(crashSentinel{id: e.id})
@@ -118,6 +157,12 @@ func (e *Env) LeaderSet(x int) []ProcID {
 	}
 	return set
 }
+
+// Observing reports whether the session records observation digests
+// (Config.Observe). Shared objects whose operations observe many values per
+// step can use it to skip the per-value Observe calls entirely when the
+// digests are unused — e.g. a snapshot scan of n cells.
+func (e *Env) Observing() bool { return e.s.cfg.Observe }
 
 // StepCount returns the number of steps the process has executed so far.
 func (e *Env) StepCount() int { return e.s.stepsOf[e.id] }

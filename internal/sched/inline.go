@@ -171,9 +171,17 @@ func (s *Session) dispatch(self ProcID) bool {
 			if s.cfg.Observe {
 				view.Obs = s.obs
 			}
-			dec, err := s.nextDecision(view)
+			dec, err := s.nextDecision(&view)
 			if err != nil {
 				s.teardown(self, false, err)
+				return false
+			}
+			if len(dec.Plan) > 0 || dec.Sprint {
+				// Batched grants need a dispatcher that survives the granted
+				// process's unwind; the token-passing round machinery has
+				// none. Adversaries targeting this protocol must not batch.
+				s.teardown(self, false, fmt.Errorf(
+					"sched: batched grants (Decision.Plan/Sprint) are not supported by the inline protocol"))
 				return false
 			}
 			s.round.active = true

@@ -25,7 +25,18 @@ import (
 // state, so a Session replaying the same adversary decisions produces a
 // byte-identical trace and identical outcomes.
 //
-// Two scheduling protocols implement the same observable semantics:
+// Three scheduling protocols implement the same observable semantics:
+//
+//   - The direct protocol (SessionOptions.Direct) runs every process as a
+//     coroutine (iter.Pull) pulled by the goroutine that called Run: a token
+//     handoff is a coroutine switch, not a goroutine wakeup, and batched
+//     grants (Decision.Plan, Decision.Sprint) consume consecutive self-grants
+//     without any switch at all. It is the fastest protocol and the one
+//     replay engines use. Its one constraint: processes must take their
+//     steps on their own execution context — a body that hands its Env to a
+//     helper goroutine (as internal/bg's simulator threads do) must use a
+//     channel protocol instead, because a coroutine can only be suspended
+//     from its own goroutine.
 //
 //   - The default inline protocol runs the scheduling loop on whichever
 //     process goroutine holds the token: a process that parks consults the
@@ -33,14 +44,15 @@ import (
 //     without any context switch. Goroutine switches happen only when the
 //     token actually moves between processes, which roughly halves (and for
 //     run-heavy schedules far more than halves) the switch count of the
-//     central protocol.
+//     central protocol. Steps may be taken from helper goroutines, since
+//     every handoff is a channel operation.
 //
 //   - The rendezvous protocol (SessionOptions.Rendezvous) is the original
 //     central-scheduler design: a dedicated coordinator goroutine grants
 //     every step over unbuffered channels. It is kept as the simple
-//     reference implementation — the protocol-equivalence tests replay both
-//     and require byte-identical traces — and as the faithful baseline for
-//     the session-reuse benchmarks.
+//     reference implementation — the protocol-equivalence tests replay all
+//     three and require byte-identical traces — and as the faithful baseline
+//     for the session-reuse benchmarks.
 //
 // The returned Result and its Outcomes and Trace slices are owned by the
 // Session and overwritten by the next Run; callers that retain them across
@@ -49,9 +61,30 @@ import (
 type Session struct {
 	n      int
 	inline bool
+	direct bool
 	envs   []*Env
 	events chan event
 	begin  []chan Proc
+
+	// Direct-protocol state: the per-process coroutines (resume/stop pairs
+	// from iter.Pull), the active run's bodies, and the run error a process
+	// wrapper recorded when its body panicked with a foreign value.
+	bodies []Proc
+	dNext  []func() (struct{}, bool)
+	dStop  []func()
+	dFail  error
+	// inNext is set across direct-protocol Adversary.Next calls so
+	// runDirect's single deferred recover can attribute a panic to the
+	// adversary (per-consultation defers were measurably hot).
+	inNext bool
+
+	// Batched-grant state (direct and rendezvous protocols): the adopted
+	// Decision.Plan with its consumption cursor, the process a Decision.Sprint
+	// keeps granting, and the adversary's optional SprintObserver side.
+	plan      []Grant
+	planIdx   int
+	sprint    ProcID
+	sprintObs SprintObserver
 
 	cfg Config    // the active run's config
 	adv Adversary // the active run's adversary
@@ -130,6 +163,14 @@ type SessionOptions struct {
 	// differential tests and as the faithful respawn baseline of the
 	// session-reuse benchmarks.
 	Rendezvous bool
+
+	// Direct selects the coroutine protocol: processes run as iter.Pull
+	// coroutines resumed by Run's goroutine, so a token handoff is a
+	// coroutine switch and batched grants need no switch at all. Requires
+	// bodies that take their steps on their own execution context (no
+	// handing the Env to helper goroutines). Mutually exclusive with
+	// Rendezvous.
+	Direct bool
 }
 
 // NewSession spawns the n process goroutines of a reusable runtime. Each
@@ -143,15 +184,13 @@ func NewSessionWith(n int, opts SessionOptions) (*Session, error) {
 	if n <= 0 {
 		return nil, ErrNoProcs
 	}
-	buf := 1
-	if opts.Rendezvous {
-		buf = 0
+	if opts.Direct && opts.Rendezvous {
+		return nil, errors.New("sched: SessionOptions.Direct and Rendezvous are mutually exclusive")
 	}
 	s := &Session{
 		n:       n,
-		inline:  !opts.Rendezvous,
-		events:  make(chan event),
-		begin:   make([]chan Proc, n),
+		inline:  !opts.Rendezvous && !opts.Direct,
+		direct:  opts.Direct,
 		runDone: make(chan struct{}, 1),
 
 		state:     make([]procState, n),
@@ -164,12 +203,29 @@ func NewSessionWith(n int, opts SessionOptions) (*Session, error) {
 
 		awaitUnwind: -1,
 		detachSelf:  -1,
+		sprint:      -1,
 
 		outcomes:      make([]Outcome, n),
 		runnableBuf:   make([]ProcID, 0, n),
 		roundCrashBuf: make([]ProcID, 0, n),
 	}
 	s.envs = make([]*Env, n)
+	if opts.Direct {
+		s.bodies = make([]Proc, n)
+		s.dNext = make([]func() (struct{}, bool), n)
+		s.dStop = make([]func(), n)
+		for i := range s.envs {
+			s.envs[i] = &Env{s: s, id: ProcID(i), n: n}
+			s.dNext[i], s.dStop[i] = s.startCoro(s.envs[i])
+		}
+		return s, nil
+	}
+	buf := 1
+	if opts.Rendezvous {
+		buf = 0
+	}
+	s.events = make(chan event)
+	s.begin = make([]chan Proc, n)
 	for i := range s.envs {
 		// Under the inline protocol the channels are buffered: the protocol
 		// keeps at most one in-flight message per channel (a grant is always
@@ -235,6 +291,12 @@ func (s *Session) Close() {
 		return
 	}
 	s.closed = true
+	if s.direct {
+		for _, stop := range s.dStop {
+			stop()
+		}
+		return
+	}
 	for _, ch := range s.begin {
 		close(ch)
 	}
@@ -243,19 +305,30 @@ func (s *Session) Close() {
 // reset rewinds all per-run state so the next run starts from a state
 // indistinguishable from a fresh runtime's.
 func (s *Session) reset(cfg Config, adv Adversary) {
+	// obs is only ever written under cfg.Observe (see Observe), so when the
+	// previous run didn't observe, the slots are already zero. Under the
+	// direct protocol, state/pending are rewritten by runDirect's prologue
+	// and every process's status is terminally written each run (body return,
+	// crash, or teardown), so those clears are skipped too.
+	clearObs := s.cfg.Observe
 	s.cfg = cfg
 	s.adv = adv
 	for i := 0; i < s.n; i++ {
-		s.state[i] = 0
-		s.statuses[i] = 0
-		s.pending[i] = LabelNone
+		if !s.direct {
+			s.state[i] = 0
+			s.statuses[i] = 0
+			s.pending[i] = LabelNone
+		}
 		s.stepsOf[i] = 0
 		s.lastLabel[i] = LabelNone
 		s.crashed[i] = false
-		s.obs[i] = FP{}
+		if clearObs {
+			s.obs[i] = FP{}
+		}
 		e := s.envs[i]
 		e.decided = false
 		e.decision = nil
+		e.crashNext = false
 	}
 	s.steps = 0
 	s.crashes = 0
@@ -267,6 +340,11 @@ func (s *Session) reset(cfg Config, adv Adversary) {
 	s.ending = false
 	s.endBudget = false
 	s.endErr = nil
+	s.plan = s.plan[:0]
+	s.planIdx = 0
+	s.sprint = -1
+	s.sprintObs, _ = adv.(SprintObserver)
+	s.dFail = nil
 }
 
 // Run executes one run of the given bodies (one per session process) under
@@ -296,6 +374,9 @@ func (s *Session) Run(cfg Config, bodies []Proc) (*Result, error) {
 		adv = NewRandom(cfg.Seed)
 	}
 	s.reset(cfg, adv)
+	if s.direct {
+		return s.runDirect(bodies)
+	}
 	if s.inline {
 		return s.runInline(bodies)
 	}
@@ -352,6 +433,60 @@ func (s *Session) runCentral(bodies []Proc) (*Result, error) {
 
 	budgetExhausted := false
 	for {
+		// Pre-committed grants (Decision.Plan) execute before the adversary
+		// is consulted again, each behind the same budget check a consulted
+		// round would make.
+		if s.planIdx < len(s.plan) {
+			g := s.plan[s.planIdx]
+			s.planIdx++
+			if g.Crash {
+				if int(g.ID) >= 0 && int(g.ID) < s.n && s.state[g.ID] == stateParked {
+					s.crash(g.ID)
+					if s.cfg.MaxCrashes > 0 && s.crashes > s.cfg.MaxCrashes {
+						s.reapAll(StatusBlocked)
+						return nil, fmt.Errorf("sched: adversary crashed %d processes, limit %d",
+							s.crashes, s.cfg.MaxCrashes)
+					}
+				}
+				continue
+			}
+			if s.steps >= s.cfg.MaxSteps {
+				budgetExhausted = true
+				s.reapAll(StatusBlocked)
+				break
+			}
+			if int(g.ID) < 0 || int(g.ID) >= s.n || s.state[g.ID] != stateParked {
+				s.reapAll(StatusBlocked)
+				return nil, fmt.Errorf("sched: planned grant for process %d, which is not parked", g.ID)
+			}
+			if err := s.step(g.ID); err != nil {
+				s.reapAll(StatusBlocked)
+				return nil, err
+			}
+			continue
+		}
+		// An active sprint keeps granting its process until it stops being
+		// parked (finished or crashed) or the budget runs out.
+		if s.sprint >= 0 {
+			p := s.sprint
+			if s.state[p] == stateParked {
+				if s.steps >= s.cfg.MaxSteps {
+					budgetExhausted = true
+					s.reapAll(StatusBlocked)
+					break
+				}
+				if s.sprintObs != nil {
+					s.sprintObs.SprintStep(p, s.pending[p])
+				}
+				if err := s.step(p); err != nil {
+					s.reapAll(StatusBlocked)
+					return nil, err
+				}
+				continue
+			}
+			s.sprint = -1
+		}
+
 		runnable := s.runnable()
 		if len(runnable) == 0 {
 			break
@@ -364,7 +499,7 @@ func (s *Session) runCentral(bodies []Proc) (*Result, error) {
 
 		view.Step = s.steps
 		view.Runnable = runnable
-		dec, err := s.nextDecision(view)
+		dec, err := s.nextDecision(&view)
 		if err != nil {
 			s.reapAll(StatusBlocked)
 			return nil, err
@@ -381,6 +516,10 @@ func (s *Session) runCentral(bodies []Proc) (*Result, error) {
 					s.crashes, s.cfg.MaxCrashes)
 			}
 		}
+		if len(dec.Plan) > 0 {
+			s.plan = append(s.plan[:0], dec.Plan...)
+			s.planIdx = 0
+		}
 
 		run := dec.Run
 		if run < 0 && len(dec.Crash) > 0 {
@@ -392,6 +531,9 @@ func (s *Session) runCentral(bodies []Proc) (*Result, error) {
 			if run < 0 {
 				continue
 			}
+		}
+		if dec.Sprint {
+			s.sprint = run
 		}
 		if err := s.step(run); err != nil {
 			s.reapAll(StatusBlocked)
@@ -425,13 +567,13 @@ func (s *Session) consume(ev event) {
 // Next into a run error. Both protocols thereby fail such runs identically
 // — same error, every process goroutine reaped and re-parked — instead of
 // the panic unwinding whichever goroutine happened to be dispatching.
-func (s *Session) nextDecision(v View) (dec Decision, err error) {
+func (s *Session) nextDecision(v *View) (dec Decision, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("sched: adversary panicked: %v", r)
 		}
 	}()
-	return s.adv.Next(v), nil
+	return s.adv.Next(*v), nil
 }
 
 // grantBookkeeping records the grant of one step to process id: the label it
@@ -449,6 +591,20 @@ func (s *Session) grantBookkeeping(id ProcID) {
 		s.trace = append(s.trace, TraceEntry{Proc: id, Label: label})
 	}
 	s.state[id] = stateRunning
+}
+
+// selfGrant is grantBookkeeping for a step consumed in place by StepL's
+// batched-grant fast path: the process never parks, so the label comes from
+// the caller and the state stays running.
+func (s *Session) selfGrant(id ProcID, label Label) {
+	s.lastLabel[id] = label
+	if label != LabelStart {
+		s.steps++
+		s.stepsOf[id]++
+	}
+	if s.cfg.TraceCapacity > 0 && len(s.trace) < s.cfg.TraceCapacity {
+		s.trace = append(s.trace, TraceEntry{Proc: id, Label: label})
+	}
 }
 
 // step grants one step to process id and waits for it to park again or

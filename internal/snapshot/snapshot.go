@@ -66,12 +66,41 @@ func (s *Primitive[T]) Update(e *sched.Env, i int, v T) {
 // Scan implements Snapshot.
 func (s *Primitive[T]) Scan(e *sched.Env) []T {
 	e.StepL(s.scanL)
-	for i := range s.cells {
-		sched.Observe(e, s.cells[i])
+	if e.Observing() {
+		for i := range s.cells {
+			sched.Observe(e, s.cells[i])
+		}
 	}
 	out := make([]T, len(s.cells))
 	copy(out, s.cells)
 	return out
+}
+
+// ScanView is the zero-copy Scan for callers that consume the view before
+// their next step: it returns the object's live component array. Between two
+// steps no other process runs, so the cells cannot change under a caller that
+// reads the view immediately; the slice must not be written, and is invalid
+// after the caller's next step. Replay-engine hot paths use it to avoid the
+// per-scan copy.
+func (s *Primitive[T]) ScanView(e *sched.Env) []T {
+	e.StepL(s.scanL)
+	if e.Observing() {
+		for i := range s.cells {
+			sched.Observe(e, s.cells[i])
+		}
+	}
+	return s.cells
+}
+
+// Reset clears every component to the zero value, returning the object to
+// its freshly constructed state without re-interning any labels. Replay
+// engines rebuild shared state millions of times; label interning was the
+// dominant cost of construction.
+func (s *Primitive[T]) Reset() {
+	var zero T
+	for i := range s.cells {
+		s.cells[i] = zero
+	}
 }
 
 // Len implements Snapshot.
