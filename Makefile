@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json bench-trend throughput-gate profile explore-smoke sample-smoke spec-conformance symmetry-conformance experiments docs-check
+.PHONY: build vet test bench bench-json bench-trend throughput-gate profile explore-smoke sample-smoke spec-conformance symmetry-conformance weakmem-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,16 @@ symmetry-conformance: build
 	$(GO) test -race -count=1 -run 'TestSymmetry|TestPermuteScript|TestVisitedStore|TestOrbit' ./internal/explore/spectest ./internal/explore ./internal/sched
 	$(GO) run ./cmd/benchexplore -symmetry-only -o ""
 
+# Weak-memory differential gate (CI's test job): the spectest battery —
+# atomic anchors (golden visited counts, default == explicit atomic),
+# the regular-only monotonicity witness found/replayed/minimized, the
+# tso-only SB split — plus the backend unit/race tests of internal/reg and
+# the parallel weak-backend hammers (see docs/WEAK_MEMORY.md).
+weakmem-conformance: build
+	$(GO) test -race -count=1 -run 'TestBackendSpecsEnumerated|TestAtomicAnchors|TestRegularOnlyWitness|TestStoreBufferDifferential' ./internal/explore/spectest
+	$(GO) test -race -count=1 ./internal/reg
+	$(GO) test -race -count=1 -run 'TestWeakBackend' ./internal/explore/sessions
+
 # Bounded exhaustive-exploration smoke: every cell is capped by -maxruns, so
 # this can never hang CI even on pathological trees (the BG cell alone would
 # otherwise be astronomically deep).
@@ -76,6 +86,13 @@ explore-smoke: build
 	$(GO) run ./cmd/explore -object xsafe -n 2 -x 1,2 -crashes 1 -maxruns 5000 -prune -dedup
 	$(GO) run ./cmd/explore -object queue -n 3 -set ops=1 -crashes 0,1 -maxruns 20000 -dedup
 	$(GO) run ./cmd/explore -object xcompete -n 3 -x 2 -crashes 1 -maxruns 5000 -prune -dedup
+	$(GO) run ./cmd/explore -object registers -n 2 -set backend=regular -crashes 0 -maxruns 20000 -dedup -compare
+	$(GO) run ./cmd/explore -object registers -n 2 -set backend=tso -crashes 0,1 -maxruns 20000 -dedup
+	$(GO) run ./cmd/explore -object mlset -n 3 -set l=2 -crashes 0,1 -maxruns 20000 -prune -dedup
+	$(GO) run ./cmd/explore -object renaming -n 2 -crashes 0,1 -maxruns 20000 -prune -dedup
+	$(GO) run ./cmd/explore -object hierarchy -set base=tas,queue -crashes 0 -maxruns 20000 -prune -dedup
+	$(GO) run ./cmd/explore -object universal -n 2 -set ops=1 -crashes 0,1 -maxruns 20000 -prune -dedup
+	$(GO) run ./cmd/explore -object detector -n 2 -x 1 -steps 400 -maxruns 2000 -prune
 	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -maxruns 2000
 	$(GO) run ./cmd/simrun -sim forward -n 4 -t1 3 -x1 2 -t2 1 -trace 5
 	$(GO) run ./cmd/simrun -sim bg -n 4 -t1 1 -seed 7

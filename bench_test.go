@@ -19,6 +19,7 @@ import (
 	"mpcn/internal/hierarchy"
 	"mpcn/internal/model"
 	"mpcn/internal/object"
+	"mpcn/internal/reg"
 	"mpcn/internal/sched"
 	"mpcn/internal/snapshot"
 	"mpcn/internal/tasks"
@@ -460,7 +461,7 @@ func BenchmarkBoostedConsensus(b *testing.B) {
 // exploreBenchSession is the fixed workload of the explorer benchmark:
 // 3 processes each writing a private register 3 times, a 34650-leaf decision
 // tree (12 grants interleaved as 12!/(4!^3)).
-var exploreBenchSession = sessions.Registers(3, 3)
+var exploreBenchSession = sessions.Registers(3, 3, 0, reg.Atomic)
 
 // BenchmarkParallelVsSequential measures the exhaustive explorer on the
 // fixed 34650-run tree: the sequential DFS against the frontier-sharded

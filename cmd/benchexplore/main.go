@@ -216,7 +216,10 @@ func runMain(o benchOptions) error {
 }
 
 // sweeps derives the benchmark cells from the registry: per spec, the
-// declared defaults without crashes and with a single-crash budget.
+// declared defaults without crashes and with a single-crash budget — plus
+// one weak-memory cell (the regular-register writers at n=2, non-violating
+// without readers), so the file tracks a weak backend's step-inflated tree
+// next to the atomic default.
 func sweeps() ([]sweep, error) {
 	var out []sweep
 	for _, s := range spec.All() {
@@ -232,7 +235,38 @@ func sweeps() ([]sweep, error) {
 			out = append(out, sweep{name: name, spec: s, p: p})
 		}
 	}
-	return out, nil
+	weak, err := weakSweep()
+	if err != nil {
+		return nil, err
+	}
+	return append(out, weak), nil
+}
+
+// weakSweep builds the tracked weak-memory cell: registers at n=2 under the
+// regular backend, crash-free. The writer-only harness has no property a
+// weak backend can break, so the cell exhausts cleanly; at n=2 the
+// three-step writes keep the tree inside the probe budget.
+func weakSweep() (sweep, error) {
+	s, err := spec.Lookup("registers")
+	if err != nil {
+		return sweep{}, fmt.Errorf("weak cell: %w", err)
+	}
+	backend := -1
+	for _, d := range s.Params() {
+		if d.Name == "backend" {
+			if i, ok := d.ValueIndex("regular"); ok {
+				backend = i
+			}
+		}
+	}
+	if backend < 0 {
+		return sweep{}, fmt.Errorf("weak cell: registers declares no regular backend")
+	}
+	p, err := spec.Resolve(s, spec.Params{"n": 2, "backend": backend, spec.ParamCrashes: 0})
+	if err != nil {
+		return sweep{}, fmt.Errorf("weak cell: %w", err)
+	}
+	return sweep{name: "registers/backend=regular", spec: s, p: p}, nil
 }
 
 func run(o benchOptions) error {

@@ -81,7 +81,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"strconv"
 	"strings"
 
 	"mpcn/internal/explore"
@@ -99,7 +98,7 @@ func main() {
 type options struct {
 	object   string
 	list     bool
-	grids    map[string][]int
+	grids    map[string][]string
 	workers  int
 	maxRuns  int
 	prune    bool
@@ -210,7 +209,7 @@ func run(args []string, out io.Writer) int {
 	// Only explicitly-set named grid flags enter the parameter grids, so a
 	// spec is never asked to validate the unrelated defaults of another
 	// spec's convenience flags.
-	o.grids = map[string][]int{}
+	o.grids = map[string][]string{}
 	explicit := map[string]bool{}
 	var err error
 	fs.Visit(func(f *flag.Flag) {
@@ -304,38 +303,45 @@ func rejectInapplicableFlags(o options, explicit map[string]bool, haveSets bool)
 // user can correct the invocation without a second lookup.
 func printDomains(out io.Writer, e *spec.ParamError) {
 	if !e.Unknown {
-		fmt.Fprintf(out, "declared domain:\n  -set %s=%d  [%s]  %s\n", e.Decl.Name, e.Decl.Default, e.Decl.Range(), e.Decl.Doc)
+		fmt.Fprintf(out, "declared domain:\n  -set %s=%s  [%s]  %s\n",
+			e.Decl.Name, e.Decl.ValueName(e.Decl.Default), e.Decl.Range(), e.Decl.Doc)
 		return
 	}
 	fmt.Fprintf(out, "declared parameters of %s:\n", e.Spec)
 	for _, d := range e.Declared {
-		fmt.Fprintf(out, "  -set %s=%d  [%s]  %s\n", d.Name, d.Default, d.Range(), d.Doc)
+		fmt.Fprintf(out, "  -set %s=%s  [%s]  %s\n", d.Name, d.ValueName(d.Default), d.Range(), d.Doc)
 	}
 }
 
-func addGrid(grids map[string][]int, name, vals string) error {
+// addGrid records a raw textual value list; values are resolved against the
+// selected spec's declared domains (spec.TextGrid) after lookup, so
+// string-domain parameters accept their symbolic names (-set backend=regular).
+func addGrid(grids map[string][]string, name, vals string) error {
 	if _, dup := grids[name]; dup {
 		return fmt.Errorf("parameter %q set twice", name)
 	}
-	g, err := parseGrid(vals)
-	if err != nil {
-		return fmt.Errorf("parameter %q: %w", name, err)
+	parts := strings.Split(vals, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return fmt.Errorf("parameter %q: empty grid value", name)
+		}
+		out = append(out, p)
 	}
-	grids[name] = g
+	grids[name] = out
 	return nil
 }
 
-func parseGrid(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad grid value %q", p)
-		}
-		out = append(out, v)
+// resolveGrid expands the raw textual grids into resolved parameter cells
+// for s: value names of string-domain parameters resolve against the
+// declared domain, everything else parses as a decimal grid.
+func resolveGrid(s spec.Spec, raw map[string][]string) ([]spec.Params, error) {
+	grids, err := spec.TextGrid(s, raw)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return spec.Grid(s, grids)
 }
 
 // printList enumerates the registry: every spec's doc line, parameter
@@ -363,7 +369,7 @@ func printList(out io.Writer) {
 			fmt.Fprintf(out, "  sampling: budget=%d depth=%d\n", sm.Budget, sm.Depth)
 		}
 		for _, p := range s.Params() {
-			fmt.Fprintf(out, "  -set %s=%d  [%s]  %s\n", p.Name, p.Default, p.Range(), p.Doc)
+			fmt.Fprintf(out, "  -set %s=%s  [%s]  %s\n", p.Name, p.ValueName(p.Default), p.Range(), p.Doc)
 		}
 	}
 }
@@ -373,7 +379,7 @@ func sweep(o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cells, err := spec.Grid(s, o.grids)
+	cells, err := resolveGrid(s, o.grids)
 	if err != nil {
 		return err
 	}
@@ -401,14 +407,14 @@ func sweep(o options, out io.Writer) error {
 			stats, err = explore.ExploreParallel(spec.Factory(s, p), cfg)
 		}
 		if err != nil {
-			return fmt.Errorf("spec %q %v: %w", s.Name(), p, err)
+			return fmt.Errorf("spec %q %s: %w", s.Name(), p.Text(s), err)
 		}
 		verdict := "EXHAUSTED"
 		if !stats.Exhausted {
 			verdict = "partial (bounded)"
 		}
 		fmt.Fprintf(out, "%-40s %10d %8d %6d %10.0f %10s %s\n",
-			p, stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
+			p.Text(s), stats.Runs, stats.Pruned, stats.MaxDepth, stats.RunsPerSec(),
 			stats.Elapsed.Round(stats.Elapsed/100+1), verdict)
 		if o.dedup {
 			fmt.Fprintf(out, "%-40s %s\n", "  (dedup)", stats.Dedup)
@@ -416,7 +422,7 @@ func sweep(o options, out io.Writer) error {
 		if o.compare && !o.seq {
 			seq, err := explore.ExploreSession(s.New(p), cfg)
 			if err != nil {
-				return fmt.Errorf("spec %q %v (sequential): %w", s.Name(), p, err)
+				return fmt.Errorf("spec %q %s (sequential): %w", s.Name(), p.Text(s), err)
 			}
 			if o.dedup {
 				// Parallel dedup run counts are timing-dependent; only the
@@ -460,7 +466,7 @@ func sampleSweep(o options, out io.Writer) error {
 		if o.allSpecs {
 			grids = nil // declared defaults only; grid flags may not apply to every spec
 		}
-		cells, err := spec.Grid(s, grids)
+		cells, err := resolveGrid(s, grids)
 		if err != nil {
 			return err
 		}
@@ -494,9 +500,9 @@ func sampleSweep(o options, out io.Writer) error {
 				stats, err = sample.RunParallel(spec.Factory(s, p), o.sample, cfg)
 			}
 			if err != nil {
-				return fmt.Errorf("spec %q %v: %w", s.Name(), p, err)
+				return fmt.Errorf("spec %q %s: %w", s.Name(), p.Text(s), err)
 			}
-			label := fmt.Sprintf("%s %v", s.Name(), p)
+			label := fmt.Sprintf("%s %s", s.Name(), p.Text(s))
 			fmt.Fprintf(out, "%-40s %10d %10d %6d %12.0f %10s SAMPLED\n",
 				label, stats.Samples, stats.Distinct, stats.MaxDepth, stats.SamplesPerSec(),
 				stats.Elapsed.Round(stats.Elapsed/100+1))

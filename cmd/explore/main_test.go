@@ -98,7 +98,7 @@ func TestUnknownSpecErrorListsAvailable(t *testing.T) {
 // TestDedupOnFingerprintlessSpecRejected: -dedup against the BG spec (no
 // fingerprint) fails up front with the spec-tagged ErrNoFingerprint.
 func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
-	err := sweep(options{object: "bg", grids: map[string][]int{}, dedup: true, maxRuns: 10}, io.Discard)
+	err := sweep(options{object: "bg", grids: map[string][]string{}, dedup: true, maxRuns: 10}, io.Discard)
 	if err == nil {
 		t.Fatal("dedup accepted on a fingerprint-less spec")
 	}
@@ -117,7 +117,7 @@ func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
 // ErrNoSymmetry — the same loud-rejection pattern as -dedup on a
 // fingerprint-less spec.
 func TestSymmetryOnNonCapableSpecRejected(t *testing.T) {
-	err := sweep(options{object: "safe", grids: map[string][]int{}, dedup: true, symmetry: true, maxRuns: 10}, io.Discard)
+	err := sweep(options{object: "safe", grids: map[string][]string{}, dedup: true, symmetry: true, maxRuns: 10}, io.Discard)
 	if err == nil {
 		t.Fatal("symmetry accepted on a non-capable spec")
 	}
@@ -136,7 +136,7 @@ func TestSymmetryOnNonCapableSpecRejected(t *testing.T) {
 // visited store, so -symmetry without -dedup is rejected even on capable
 // specs.
 func TestSymmetryWithoutDedupRejected(t *testing.T) {
-	err := sweep(options{object: "commitadopt", grids: map[string][]int{}, symmetry: true, maxRuns: 10}, io.Discard)
+	err := sweep(options{object: "commitadopt", grids: map[string][]string{}, symmetry: true, maxRuns: 10}, io.Discard)
 	if !errors.Is(err, explore.ErrSymmetryNeedsDedup) {
 		t.Fatalf("err = %v, want ErrSymmetryNeedsDedup", err)
 	}
@@ -164,16 +164,70 @@ func TestSymmetrySweepEndToEnd(t *testing.T) {
 	}
 }
 
-func TestParseGrid(t *testing.T) {
-	got, err := parseGrid("1, 2,3")
-	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 3 {
-		t.Fatalf("parseGrid: %v %v", got, err)
+func TestAddGrid(t *testing.T) {
+	grids := map[string][]string{}
+	if err := addGrid(grids, "n", "1, 2,3"); err != nil {
+		t.Fatalf("addGrid: %v", err)
 	}
-	if _, err := parseGrid("1,x"); err == nil {
-		t.Fatal("bad grid accepted")
+	if got := grids["n"]; len(got) != 3 || got[0] != "1" || got[2] != "3" {
+		t.Fatalf("addGrid collected %v", got)
 	}
-	if _, err := parseGrid(""); err == nil {
-		t.Fatal("empty grid accepted")
+	if err := addGrid(grids, "n", "4"); err == nil {
+		t.Fatal("duplicate parameter accepted")
+	}
+	if err := addGrid(grids, "x", "1,,2"); err == nil {
+		t.Fatal("empty grid value accepted")
+	}
+	// Value resolution happens against the selected spec's declared domains:
+	// integer params reject non-numeric text there, not at collection time.
+	s, err := spec.Lookup("registers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resolveGrid(s, map[string][]string{"n": {"x"}}); err == nil {
+		t.Fatal("non-integer value for an integer param accepted")
+	}
+}
+
+// TestEnumParamCLI: string-domain parameters resolve by name through the
+// whole CLI path — -set backend=regular explores the weak cell, the cell
+// label echoes the symbolic name, unknown value names are rejected with the
+// declared domain, and integer literals are not part of an enum's domain.
+func TestEnumParamCLI(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(strings.Fields("-object registers -n 2 -set backend=tso -crashes 1 -workers 2"), &out); code != 0 {
+		t.Fatalf("exit code %d\n%s", code, out.String())
+	}
+	for _, want := range []string{"EXHAUSTED", "backend=tso"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The weak litmus cells genuinely violate: sb under a weak backend must
+	// exit non-zero — the CLI face of the differential battery.
+	if code := run(strings.Fields("-object sb -set backend=tso -workers 2"), io.Discard); code == 0 {
+		t.Fatal("sb under tso exhausted without finding the store-buffering outcome")
+	}
+
+	s, err := spec.Lookup("registers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = resolveGrid(s, map[string][]string{"backend": {"sequential"}})
+	var pe *spec.ParamError
+	if !errors.As(err, &pe) || pe.ValueName != "sequential" {
+		t.Fatalf("unknown backend name: err = %v", err)
+	}
+	for _, want := range []string{"sequential", "atomic|regular|tso"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	if code := run(strings.Fields("-object registers -set backend=sequential"), io.Discard); code == 0 {
+		t.Fatal("unknown backend name accepted")
+	}
+	if _, err := resolveGrid(s, map[string][]string{"backend": {"1"}}); err == nil {
+		t.Fatal("integer literal accepted for a string-domain param")
 	}
 }
 
@@ -322,9 +376,44 @@ func TestListEnumeratesRegistry(t *testing.T) {
 		"-set n=2  [1..∞]",              // a parameter domain with default and range
 		"-set crashes=0",                // the auto-declared engine params
 		"-set steps=0",
+		// String-domain parameters render their default by name and their
+		// domain as the value-name alternation.
+		"-set backend=atomic  [atomic|regular|tso]",
+		"-set base=tas  [tas|queue|cas]",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("-list output missing %q:\n%s", want, text)
+		}
+	}
+	// The listing follows spec.All's deterministic name-sorted order.
+	prev := -1
+	for _, s := range spec.All() {
+		at := strings.Index(text, "\n"+s.Name()+" — ")
+		if at < 0 {
+			t.Errorf("-list missing header line for %q", s.Name())
+			continue
+		}
+		if at < prev {
+			t.Errorf("-list out of order at %q", s.Name())
+		}
+		prev = at
+	}
+}
+
+// TestSpecAllDeterministicOrder: the registry enumerates name-sorted, and
+// repeated calls agree — the ordering contract -list, -allspecs sweeps and
+// the benchexplore tables rely on.
+func TestSpecAllDeterministicOrder(t *testing.T) {
+	a, b := spec.All(), spec.All()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("spec.All lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name() != b[i].Name() {
+			t.Fatalf("order diverges at %d: %q vs %q", i, a[i].Name(), b[i].Name())
+		}
+		if i > 0 && a[i-1].Name() >= a[i].Name() {
+			t.Fatalf("not strictly name-sorted: %q before %q", a[i-1].Name(), a[i].Name())
 		}
 	}
 }

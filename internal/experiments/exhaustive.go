@@ -62,7 +62,7 @@ func E16ExhaustiveCoverage() []Row {
 		ok := err == nil && (stats.Exhausted || spec.Unbounded(s))
 		rows = append(rows, Row{
 			Experiment: "E16 exhaustive coverage",
-			Setting:    fmt.Sprintf("%s (%v): %d runs", s.Name(), p, stats.Runs),
+			Setting:    fmt.Sprintf("%s (%s): %d runs", s.Name(), p.Text(s), stats.Runs),
 			Claim:      s.Doc(),
 			Measured:   measured(ok, verdict+" without violation", fmt.Sprintf("violation or error: %v", err)),
 			OK:         ok,

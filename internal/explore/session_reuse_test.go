@@ -7,6 +7,7 @@ import (
 
 	"mpcn/internal/explore"
 	"mpcn/internal/explore/sessions"
+	"mpcn/internal/reg"
 	"mpcn/internal/sched"
 )
 
@@ -40,7 +41,7 @@ func TestSessionReuseMatchesRespawn(t *testing.T) {
 		{"commitadopt/n=2/crashes=1", sessions.CommitAdopt(2), Config{MaxCrashes: 1, MaxSteps: 64}},
 		{"commitadopt/n=2/crashes=1/prune", sessions.CommitAdopt(2), Config{MaxCrashes: 1, MaxSteps: 64, Prune: true}},
 		{"xsafe/n=2/x=2/crashes=1", sessions.XSafe(2, 2, 2), Config{MaxCrashes: 1, MaxSteps: 256}},
-		{"registers/n=3/prune", sessions.Registers(3, 2), Config{Prune: true}},
+		{"registers/n=3/prune", sessions.Registers(3, 2, 0, reg.Atomic), Config{Prune: true}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -82,7 +83,7 @@ func TestSessionReuseMatchesRespawn(t *testing.T) {
 // unaffected by the runtime swap.
 func TestSessionReuseByteIdenticalScripts(t *testing.T) {
 	script := func(respawn bool) []string {
-		s := sessions.Registers(2, 2)()
+		s := sessions.Registers(2, 2, 0, reg.Atomic)()
 		runs := 0
 		inner := s.Check
 		s.Check = func(res *sched.Result) error {

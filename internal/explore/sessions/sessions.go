@@ -246,6 +246,13 @@ func BG(n, t int) (func() explore.Session, error) {
 	}, nil
 }
 
+// ErrNonMonotonicRead is the distinguishing verdict of the Registers reader
+// property: a reader observed a smaller value after a larger one on the same
+// cell. Atomic and TSO registers never produce it (single-cell reads of
+// committed values are monotonic); the regular backend does — the weak-memory
+// battery's witness minimizer matches this sentinel via errors.Is.
+var ErrNonMonotonicRead = errors.New("registers: reader observed a non-monotonic value sequence")
+
 // Registers is the independence stress: n processes each writing a private
 // register writes times — the best case for partial-order reduction and the
 // fixed workload of the explorer benchmarks. The private registers are the
@@ -254,20 +261,42 @@ func BG(n, t int) (func() explore.Session, error) {
 // registers, while the array's lane-routed fingerprint makes the session
 // symmetric — every process runs the same body, so states differing only in
 // WHICH processes have progressed canonicalize together.
-func Registers(n, writes int) func() explore.Session {
+//
+// readers appends extra processes that each read cell 0 twice; the checker
+// then asserts the two observations are monotonically non-decreasing (cell 0
+// only ever steps upward through 1..writes). backend selects the register
+// memory model: with backend=regular and readers >= 1 the monotonicity
+// property genuinely fails — the explorer finds the new-then-old read
+// inversion — which is exactly the differential witness the weak-memory
+// battery replays and minimizes. At the defaults (readers=0, atomic) the
+// session is step-for-step and digest-for-digest identical to the historical
+// writer-only harness, and only that default configuration declares
+// process-permutation symmetry.
+func Registers(n, writes, readers int, backend reg.Backend) func() explore.Session {
 	return func() explore.Session {
-		var regs *reg.Array[int]
+		var regs reg.BackendArray[int]
+		var pairs [][2]int // per completed reader: (first, second) observation
 		return explore.Session{
-			Symmetric: true,
+			Symmetric: readers == 0 && backend.SupportsSymmetry(),
 			Make: func() []sched.Proc {
-				regs = reg.NewArray[int]("r", n)
-				bodies := make([]sched.Proc, n)
-				for i := range bodies {
+				regs = reg.NewBackendArray[int](backend, "r", n, n+readers)
+				pairs = pairs[:0]
+				bodies := make([]sched.Proc, n+readers)
+				for i := 0; i < n; i++ {
 					i := i
 					bodies[i] = func(e *sched.Env) {
 						for j := 1; j <= writes; j++ {
 							regs.Write(e, i, j)
 						}
+						regs.Flush(e)
+						e.Decide(0)
+					}
+				}
+				for r := 0; r < readers; r++ {
+					bodies[n+r] = func(e *sched.Env) {
+						a := regs.Read(e, 0)
+						b := regs.Read(e, 0)
+						pairs = append(pairs, [2]int{a, b})
 						e.Decide(0)
 					}
 				}
@@ -277,10 +306,85 @@ func Registers(n, writes int) func() explore.Session {
 				if res.BudgetExhausted {
 					return errors.New("register writers wedged")
 				}
+				for _, p := range pairs {
+					if p[0] < 0 || p[0] > writes || p[1] < 0 || p[1] > writes {
+						return fmt.Errorf("registers: invented value in read pair %v", p)
+					}
+					if p[1] < p[0] {
+						return fmt.Errorf("%w: read %d then %d", ErrNonMonotonicRead, p[0], p[1])
+					}
+				}
 				return nil
 			},
 			Fingerprint: func(h *sched.FP) {
 				regs.Fingerprint(h)
+				if readers > 0 {
+					foldMultiset(h, len(pairs), func(i int, t *sched.FP) {
+						t.Int(pairs[i][0])
+						t.Int(pairs[i][1])
+					})
+				}
+			},
+		}
+	}
+}
+
+// ErrStoreLoadReordered is the distinguishing verdict of the StoreBuffer
+// litmus: both processes read 0 — each load was satisfied before the other's
+// store became visible, the classic SB (store-buffering) outcome that
+// sequential consistency forbids.
+var ErrStoreLoadReordered = errors.New("sb: both loads returned 0 (store-load reordering)")
+
+// StoreBuffer is the SB litmus test as an exploration harness: process i
+// writes 1 to cell i, reads cell 1-i, then flushes. Under the atomic backend
+// at least one process must read 1 on every schedule (program order puts
+// each store before the opposite load); under TSO both loads may hit memory
+// while both stores sit in the buffers — the explorer reaches the forbidden
+// (0,0) outcome. The regular backend, perhaps surprisingly, also forbids it:
+// each load is program-ordered after its own write's commit, so for both
+// loads to land in (or before) the opposite write's flicker window the two
+// commits would each have to precede the other — regular registers weaken
+// concurrent reads, not the store→load order SB probes. The two weak
+// backends are therefore distinguishable from each other, not just from
+// atomic: regular alone fails the Registers reader monotonicity property,
+// tso alone fails SB.
+func StoreBuffer(backend reg.Backend) func() explore.Session {
+	return func() explore.Session {
+		var cells reg.BackendArray[int]
+		var loads [2]int
+		var loaded [2]bool
+		return explore.Session{
+			Make: func() []sched.Proc {
+				cells = reg.NewBackendArray[int](backend, "sb", 2, 2)
+				loads, loaded = [2]int{}, [2]bool{}
+				bodies := make([]sched.Proc, 2)
+				for i := 0; i < 2; i++ {
+					i := i
+					bodies[i] = func(e *sched.Env) {
+						cells.Write(e, i, 1)
+						v := cells.Read(e, 1-i)
+						loads[i], loaded[i] = v, true
+						cells.Flush(e)
+						e.Decide(v)
+					}
+				}
+				return bodies
+			},
+			Check: func(res *sched.Result) error {
+				if res.BudgetExhausted {
+					return errors.New("sb: wait-free litmus wedged")
+				}
+				if loaded[0] && loaded[1] && loads[0] == 0 && loads[1] == 0 {
+					return ErrStoreLoadReordered
+				}
+				return nil
+			},
+			Fingerprint: func(h *sched.FP) {
+				cells.Fingerprint(h)
+				for i := 0; i < 2; i++ {
+					h.Bool(loaded[i])
+					h.Int(loads[i])
+				}
 			},
 		}
 	}

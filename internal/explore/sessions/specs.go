@@ -10,6 +10,7 @@ import (
 
 	"mpcn/internal/explore"
 	"mpcn/internal/explore/spec"
+	"mpcn/internal/reg"
 )
 
 func init() {
@@ -105,18 +106,50 @@ func init() {
 
 	spec.Register(spec.Decl{
 		Name: "registers",
-		Doc:  "independent register writers: the partial-order-reduction stress workload",
+		Doc:  "register writers (+optional monotonicity readers): the POR stress and the weak-memory probe",
 		Params: []spec.Param{
 			{Name: "n", Doc: "writer processes", Default: 3, Min: 1, Max: spec.NoMax},
 			{Name: "writes", Doc: "writes per process", Default: 2, Min: 1, Max: spec.NoMax},
+			{Name: "readers", Doc: "extra processes double-reading cell 0 (monotonicity property)", Default: 0, Min: 0, Max: spec.NoMax},
+			BackendParam(),
 		},
 		New: func(p spec.Params) explore.Session {
-			return Registers(p["n"], p["writes"])()
+			return Registers(p["n"], p["writes"], p["readers"], reg.Backend(p["backend"]))()
 		},
 		Dedup: true,
 		Prune: true,
 		// Symmetric: every writer runs the same body on its own array cell;
 		// written values are step counters, independent of process identity.
+		// The capability is declared for the whole domain, but sessions only
+		// set Symmetric at the writer-only atomic default — the engine
+		// rejects -symmetry on weak-backend or reader-carrying cells.
 		Symmetry: true,
 	})
+
+	spec.Register(spec.Decl{
+		Name: "sb",
+		Doc:  "store-buffering litmus (SB): both loads reading 0 is forbidden under atomic registers",
+		Params: []spec.Param{
+			BackendParam(),
+		},
+		New: func(p spec.Params) explore.Session {
+			return StoreBuffer(reg.Backend(p["backend"]))()
+		},
+		Dedup: true,
+		Prune: true,
+	})
+}
+
+// BackendParam is the spec-level declaration of the register memory model:
+// a string-domain parameter whose value names are exactly reg.BackendNames
+// in encoding order, so spec.Params["backend"] converts to reg.Backend by
+// integer cast. Every spec built on reg.BackendArray declares it, keeping
+// the CLI syntax (-set backend=regular) uniform across scenarios.
+func BackendParam() spec.Param {
+	return spec.Param{
+		Name:    "backend",
+		Doc:     "register memory model (weak backends admit non-atomic behaviours)",
+		Default: int(reg.Atomic),
+		Values:  reg.BackendNames(),
+	}
 }

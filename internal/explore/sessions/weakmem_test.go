@@ -1,0 +1,99 @@
+package sessions
+
+// Race hammers for the weak-backend sessions: the parallel explorer runs
+// worker-private session instances concurrently, so every backend's state
+// (store buffers, flicker cells, visibility slices) must stay confined to
+// its factory's session. Run under -race (make test does) these would
+// surface any accidental sharing through package state or closures.
+
+import (
+	"errors"
+	"testing"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/explore/spec"
+	"mpcn/internal/reg"
+)
+
+// TestWeakBackendParallelHammer explores every backend of the reader-laden
+// registers cell and of SB with a full worker pool, repeatedly, and checks
+// the parallel verdict and visited counts against the sequential engine.
+func TestWeakBackendParallelHammer(t *testing.T) {
+	cells := []struct {
+		name    string
+		factory func() explore.Session
+		wantErr error // nil = must exhaust cleanly
+	}{
+		{"registers/atomic", Registers(2, 1, 1, reg.Atomic), nil},
+		{"registers/regular", Registers(2, 1, 1, reg.Regular), ErrNonMonotonicRead},
+		{"registers/tso", Registers(2, 1, 1, reg.TSO), nil},
+		{"sb/atomic", StoreBuffer(reg.Atomic), nil},
+		{"sb/regular", StoreBuffer(reg.Regular), nil},
+		{"sb/tso", StoreBuffer(reg.TSO), ErrStoreLoadReordered},
+	}
+	for _, c := range cells {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			seq, seqErr := explore.ExploreSession(c.factory(), explore.Config{Dedup: true})
+			checkVerdict(t, "sequential", seqErr, c.wantErr)
+			for round := 0; round < 4; round++ {
+				par, parErr := explore.ExploreParallel(c.factory, explore.Config{Dedup: true, Workers: 8})
+				checkVerdict(t, "parallel", parErr, c.wantErr)
+				// On clean cells the engines agree on exhaustion; visited
+				// counts may differ under dedup (worker interleaving), so
+				// only the verdict and coverage are compared.
+				if c.wantErr == nil && (!seq.Exhausted || !par.Exhausted) {
+					t.Fatalf("round %d: exhausted sequential=%v parallel=%v, want both", round, seq.Exhausted, par.Exhausted)
+				}
+			}
+		})
+	}
+}
+
+func checkVerdict(t *testing.T, engine string, err, want error) {
+	t.Helper()
+	if want == nil {
+		if err != nil {
+			t.Fatalf("%s: unexpected verdict %v", engine, err)
+		}
+		return
+	}
+	var pe *explore.PropertyError
+	if !errors.As(err, &pe) || !errors.Is(pe.Err, want) {
+		t.Fatalf("%s: verdict %v, want a PropertyError wrapping %v", engine, err, want)
+	}
+}
+
+// TestWeakBackendSpecFactoryIsolation hammers the registry path the CLI
+// takes: many goroutines build and exhaust private sessions of the same
+// resolved weak cell via spec.Factory, concurrently.
+func TestWeakBackendSpecFactoryIsolation(t *testing.T) {
+	s, err := spec.Lookup("registers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend, ok := BackendParam().ValueIndex("regular")
+	if !ok {
+		t.Fatal("backend domain misses regular")
+	}
+	p, err := spec.Resolve(s, spec.Params{"n": 1, "writes": 1, "readers": 1, "backend": backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory := spec.Factory(s, p)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			_, err := explore.ExploreSession(factory(), explore.Config{Dedup: true})
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		err := <-done
+		var pe *explore.PropertyError
+		if !errors.As(err, &pe) || !errors.Is(pe.Err, ErrNonMonotonicRead) {
+			t.Fatalf("goroutine verdict %v, want the non-monotonic witness", err)
+		}
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"mpcn/internal/explore"
@@ -47,22 +48,58 @@ const (
 	ParamSteps   = "steps"   // explore.Config.MaxSteps; 0 = engine default
 )
 
-// Param is one integer parameter domain of a Spec: its name, a one-line doc,
-// the default value, and the inclusive valid range.
+// Param is one parameter domain of a Spec: its name, a one-line doc, the
+// default value, and the inclusive valid range. A Param with a non-empty
+// Values list is a string-domain (enum) parameter: its integer value indexes
+// Values, Register derives Min=0 and Max=len(Values)-1, and consumers parse
+// and render the symbolic names (TextGrid, ValueName).
 type Param struct {
 	Name    string
 	Doc     string
 	Default int
 	Min     int
 	Max     int // NoMax = no static upper bound
+	// Values, when non-empty, declares a string domain: the parameter's
+	// integer value is an index into Values. Names must be unique, non-empty
+	// and free of the separators CLI grids split on (commas, '=', spaces).
+	Values []string
 }
 
-// Range renders the valid range ("1..n of ∞" style) for -list output.
+// Enum reports whether p is a string-domain parameter.
+func (p Param) Enum() bool { return len(p.Values) > 0 }
+
+// Range renders the valid domain for -list output: "1..8"/"1..∞" for integer
+// params, "atomic|regular|tso" for string-domain ones.
 func (p Param) Range() string {
+	if p.Enum() {
+		return strings.Join(p.Values, "|")
+	}
 	if p.Max == NoMax {
 		return fmt.Sprintf("%d..∞", p.Min)
 	}
 	return fmt.Sprintf("%d..%d", p.Min, p.Max)
+}
+
+// ValueIndex resolves a symbolic value name of a string-domain parameter to
+// its integer encoding. It reports false for unknown names and for integer
+// params (which have no names to resolve).
+func (p Param) ValueIndex(name string) (int, bool) {
+	for i, v := range p.Values {
+		if v == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ValueName renders v the way a user passes it: the symbolic name for
+// in-domain values of a string-domain parameter, the decimal literal
+// otherwise.
+func (p Param) ValueName(v int) string {
+	if p.Enum() && v >= 0 && v < len(p.Values) {
+		return p.Values[v]
+	}
+	return strconv.Itoa(v)
 }
 
 // Params is a resolved parameter assignment, name → value. Resolve fills
@@ -88,6 +125,26 @@ func (p Params) String() string {
 	parts := make([]string, len(names))
 	for i, k := range names {
 		parts[i] = fmt.Sprintf("%s=%d", k, p[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Text renders the assignment like String but with string-domain values of s
+// shown by their declared names ("backend=regular", not "backend=1") — the
+// exact form the CLI accepts back through -set.
+func (p Params) Text(s Spec) string {
+	byName := make(map[string]Param)
+	for _, d := range s.Params() {
+		byName[d.Name] = d
+	}
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, k := range names {
+		parts[i] = fmt.Sprintf("%s=%s", k, byName[k].ValueName(p[k]))
 	}
 	return strings.Join(parts, " ")
 }
@@ -213,11 +270,26 @@ func newDecl(d Decl) (decl, error) {
 	}
 	params := append([]Param(nil), d.Params...)
 	have := make(map[string]bool, len(params)+2)
-	for _, p := range params {
+	for i, p := range params {
 		if have[p.Name] {
 			return decl{}, fmt.Errorf("spec %q: duplicate param %q", d.Name, p.Name)
 		}
 		have[p.Name] = true
+		if p.Enum() {
+			seen := make(map[string]bool, len(p.Values))
+			for _, v := range p.Values {
+				if v == "" || strings.ContainsAny(v, ", =") {
+					return decl{}, fmt.Errorf("spec %q: param %q has malformed value name %q", d.Name, p.Name, v)
+				}
+				if seen[v] {
+					return decl{}, fmt.Errorf("spec %q: param %q has duplicate value name %q", d.Name, p.Name, v)
+				}
+				seen[v] = true
+			}
+			// The integer domain of a string-domain param is derived, never
+			// author-declared: values index the name list.
+			params[i].Min, params[i].Max = 0, len(p.Values)-1
+		}
 	}
 	if !have[ParamCrashes] {
 		params = append(params, Param{
@@ -274,6 +346,10 @@ type ParamError struct {
 	// is then zero. Otherwise Decl is the violated declaration.
 	Unknown bool
 	Decl    Param
+	// ValueName is the rejected symbolic value of a string-domain parameter
+	// (TextGrid resolution failure); when non-empty the error lists the
+	// declared value names instead of an integer range.
+	ValueName string
 	// Declared holds the spec's full parameter declarations, name-sorted.
 	Declared []Param
 }
@@ -288,8 +364,12 @@ func (e *ParamError) Error() string {
 		return fmt.Sprintf("spec %q has no parameter %q (parameters: %s)",
 			e.Spec, e.Param, strings.Join(names, ", "))
 	}
-	return fmt.Sprintf("spec %q: param %s=%d outside %s (%s)",
-		e.Spec, e.Param, e.Value, e.Decl.Range(), e.Decl.Doc)
+	if e.ValueName != "" {
+		return fmt.Sprintf("spec %q: param %s has no value %q (valid: %s) (%s)",
+			e.Spec, e.Param, e.ValueName, e.Decl.Range(), e.Decl.Doc)
+	}
+	return fmt.Sprintf("spec %q: param %s=%s outside %s (%s)",
+		e.Spec, e.Param, e.Decl.ValueName(e.Value), e.Decl.Range(), e.Decl.Doc)
 }
 
 // Resolve completes and validates a parameter assignment against s's
@@ -363,6 +443,47 @@ func Grid(s Spec, grids map[string][]int) ([]Params, error) {
 			return nil, err
 		}
 		out = append(out, r)
+	}
+	return out, nil
+}
+
+// TextGrid converts raw textual per-parameter value lists (as split from CLI
+// flags) into the integer grids Grid consumes. Values of integer params must
+// parse as decimal integers; values of string-domain params are resolved by
+// name against the declared Values — the names ARE the domain, so integer
+// literals are rejected for them. Unknown parameter names and unknown value
+// names fail with a *ParamError (the latter carries ValueName, so consumers
+// print the valid names).
+func TextGrid(s Spec, raw map[string][]string) (map[string][]int, error) {
+	decls := s.Params()
+	byName := make(map[string]Param, len(decls))
+	for _, d := range decls {
+		byName[d.Name] = d
+	}
+	out := make(map[string][]int, len(raw))
+	for name, vals := range raw {
+		d, ok := byName[name]
+		if !ok {
+			return nil, &ParamError{Spec: s.Name(), Param: name, Unknown: true, Declared: decls}
+		}
+		ints := make([]int, len(vals))
+		for i, v := range vals {
+			if d.Enum() {
+				idx, ok := d.ValueIndex(v)
+				if !ok {
+					return nil, &ParamError{Spec: s.Name(), Param: name, ValueName: v, Decl: d, Declared: decls}
+				}
+				ints[i] = idx
+				continue
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("spec %q: param %s: %q is not an integer (domain %s)",
+					s.Name(), name, v, d.Range())
+			}
+			ints[i] = n
+		}
+		out[name] = ints
 	}
 	return out, nil
 }

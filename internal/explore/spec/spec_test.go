@@ -281,6 +281,105 @@ func TestParamErrorsAreTyped(t *testing.T) {
 	}
 }
 
+// TestEnumParams: string-domain params derive their integer domain from the
+// declared value names, render the names in Range, and resolve user-supplied
+// names through TextGrid — with a typed *ParamError (carrying ValueName and
+// the declaration) for names outside the domain.
+func TestEnumParams(t *testing.T) {
+	Register(testDecl("enum-spec", func(d *Decl) {
+		d.Params = append(d.Params, Param{
+			Name: "backend", Doc: "register memory model", Default: 0,
+			Values: []string{"atomic", "regular", "tso"},
+		})
+	}))
+	s, _ := Lookup("enum-spec")
+
+	var backend Param
+	for _, p := range s.Params() {
+		if p.Name == "backend" {
+			backend = p
+		}
+	}
+	if !backend.Enum() || backend.Min != 0 || backend.Max != 2 {
+		t.Fatalf("derived enum domain wrong: %+v", backend)
+	}
+	if got := backend.Range(); got != "atomic|regular|tso" {
+		t.Fatalf("Range() = %q", got)
+	}
+	if got := backend.ValueName(1); got != "regular" {
+		t.Fatalf("ValueName(1) = %q", got)
+	}
+	if got := backend.ValueName(7); got != "7" {
+		t.Fatalf("out-of-domain ValueName = %q", got)
+	}
+
+	// TextGrid: names resolve to indices, integer params still parse.
+	grids, err := TextGrid(s, map[string][]string{
+		"backend": {"regular", "atomic"},
+		"n":       {"2", "3"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grids["backend"]; len(got) != 2 || got[0] != 1 || got[1] != 0 {
+		t.Fatalf("backend grid = %v", got)
+	}
+	if got := grids["n"]; len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("n grid = %v", got)
+	}
+
+	// Unknown value name: typed ParamError listing the valid backends.
+	_, err = TextGrid(s, map[string][]string{"backend": {"sc"}})
+	var pe *ParamError
+	if !errors.As(err, &pe) || pe.Param != "backend" || pe.ValueName != "sc" || pe.Unknown {
+		t.Fatalf("unknown value name error: %v (%#v)", err, pe)
+	}
+	for _, want := range []string{`"enum-spec"`, `no value "sc"`, "atomic|regular|tso", "memory model"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+
+	// Integer literals are not names: rejected for string-domain params.
+	if _, err := TextGrid(s, map[string][]string{"backend": {"1"}}); err == nil {
+		t.Fatal("integer literal accepted for a string-domain param")
+	}
+	// Bad integer for a numeric param still fails.
+	if _, err := TextGrid(s, map[string][]string{"n": {"bogus"}}); err == nil {
+		t.Fatal("non-integer accepted for an integer param")
+	}
+	// Unknown param name: the existing Unknown ParamError shape.
+	_, err = TextGrid(s, map[string][]string{"nope": {"1"}})
+	if !errors.As(err, &pe) || !pe.Unknown || pe.Param != "nope" {
+		t.Fatalf("unknown param error: %v", err)
+	}
+
+	// An out-of-range integer assignment of an enum param renders the names.
+	if _, err := Resolve(s, Params{"backend": 9}); err == nil ||
+		!strings.Contains(err.Error(), "backend=9 outside atomic|regular|tso") {
+		t.Fatalf("out-of-range enum resolve: %v", err)
+	}
+}
+
+func TestMalformedEnumDeclsPanic(t *testing.T) {
+	cases := []struct {
+		want string
+		vals []string
+	}{
+		{"duplicate value name", []string{"a", "b", "a"}},
+		{"malformed value name", []string{"a", ""}},
+		{"malformed value name", []string{"a", "b,c"}},
+		{"malformed value name", []string{"a=1"}},
+	}
+	for i, tc := range cases {
+		mustPanic(t, tc.want, func() {
+			Register(testDecl(fmt.Sprintf("malformed-enum-%d", i), func(d *Decl) {
+				d.Params = append(d.Params, Param{Name: "e", Doc: "enum", Values: tc.vals})
+			}))
+		})
+	}
+}
+
 func TestUnboundedCapability(t *testing.T) {
 	Register(testDecl("bounded-spec", nil))
 	Register(testDecl("unbounded-spec", func(d *Decl) { d.Unbounded = true }))

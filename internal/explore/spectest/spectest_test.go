@@ -33,8 +33,8 @@ func options(s spec.Spec) spectest.Options {
 // spec — the gate that makes a new scenario one file plus spec.Register.
 func TestConformanceAllSpecs(t *testing.T) {
 	all := spec.All()
-	if len(all) < 11 {
-		t.Fatalf("only %d registered specs; the five migrated harnesses plus six object scenarios should be present", len(all))
+	if len(all) < 17 {
+		t.Fatalf("only %d registered specs; the migrated harnesses, the object scenarios, sb and the corpus specs (mlset, renaming, detector, hierarchy, universal) should all be present", len(all))
 	}
 	for _, s := range all {
 		s := s

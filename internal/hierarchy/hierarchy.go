@@ -84,6 +84,13 @@ func (c *FromTAS) Propose(e *sched.Env, v any) any {
 	return c.vals.Read(e, 1-side)
 }
 
+// Fingerprint implements sched.Fingerprinter: the proposal registers and the
+// test&set bit — the protocol's entire shared state.
+func (c *FromTAS) Fingerprint(h *sched.FP) {
+	c.vals.Fingerprint(h)
+	c.ts.Fingerprint(h)
+}
+
 // FromQueue is two-process consensus from a queue initialized with a single
 // token: the dequeuer of the token wins.
 type FromQueue struct {
@@ -114,6 +121,13 @@ func (c *FromQueue) Propose(e *sched.Env, v any) any {
 	return c.vals.Read(e, 1-side)
 }
 
+// Fingerprint implements sched.Fingerprinter: the proposal registers and the
+// token queue — the protocol's entire shared state.
+func (c *FromQueue) Fingerprint(h *sched.FP) {
+	c.vals.Fingerprint(h)
+	c.q.Fingerprint(h)
+}
+
 // FromCAS is n-process consensus from one compare&swap register: proposals
 // are announced in per-process registers and the CAS race elects the winner
 // index. Its consensus number is unbounded.
@@ -141,6 +155,13 @@ func (c *FromCAS) Propose(e *sched.Env, v any) any {
 	c.cas.CompareAndSwap(e, -1, me)
 	winner := c.cas.Read(e)
 	return c.announce.Read(e, winner)
+}
+
+// Fingerprint implements sched.Fingerprinter: the announcement registers and
+// the winner-election CAS — the protocol's entire shared state.
+func (c *FromCAS) Fingerprint(h *sched.FP) {
+	c.announce.Fingerprint(h)
+	c.cas.Fingerprint(h)
 }
 
 // FromXConsensus adapts an x-ported consensus object to the Consensus

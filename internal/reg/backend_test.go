@@ -1,0 +1,234 @@
+package reg_test
+
+// Backend semantics tests: rather than scripting single schedules, each
+// property is asserted over EVERY interleaving via the exhaustive explorer —
+// the reachable observation set IS the backend's semantics.
+
+import (
+	"testing"
+
+	"mpcn/internal/explore"
+	"mpcn/internal/reg"
+	"mpcn/internal/sched"
+)
+
+// readPairs explores all schedules of one writer (Write cell0 := 1, then
+// Flush) racing one reader (two reads of cell 0) and returns the set of
+// (first, second) value pairs the reader observed.
+func readPairs(t *testing.T, b reg.Backend) map[[2]int]bool {
+	t.Helper()
+	pairs := make(map[[2]int]bool)
+	var a reg.BackendArray[int]
+	s := explore.Session{
+		Make: func() []sched.Proc {
+			a = reg.NewBackendArray[int](b, "r", 1, 2)
+			return []sched.Proc{
+				func(e *sched.Env) {
+					a.Write(e, 0, 1)
+					a.Flush(e)
+					e.Decide(0)
+				},
+				func(e *sched.Env) {
+					x := a.Read(e, 0)
+					y := a.Read(e, 0)
+					pairs[[2]int{x, y}] = true
+					e.Decide(0)
+				},
+			}
+		},
+		Check: func(res *sched.Result) error { return nil },
+	}
+	if _, err := explore.ExploreSession(s, explore.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return pairs
+}
+
+// TestBackendReadSemantics is the old/new-value nondeterminism table: under
+// every backend a reader may see the write not-yet or fully applied, but
+// only the regular backend admits the new-then-old inversion — and no
+// backend invents values.
+func TestBackendReadSemantics(t *testing.T) {
+	cases := []struct {
+		backend      reg.Backend
+		wantInverted bool // (1,0) reachable: new-then-old
+		wantNew      bool // (1,1) reachable: the write can become visible
+	}{
+		{reg.Atomic, false, true},
+		{reg.Regular, true, true},
+		{reg.TSO, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.backend.String(), func(t *testing.T) {
+			pairs := readPairs(t, tc.backend)
+			for p := range pairs {
+				for _, v := range p {
+					if v != 0 && v != 1 {
+						t.Fatalf("invented value in %v", p)
+					}
+				}
+			}
+			if got := pairs[[2]int{1, 0}]; got != tc.wantInverted {
+				t.Errorf("new-then-old inversion reachable = %v, want %v (pairs %v)",
+					got, tc.wantInverted, pairs)
+			}
+			if got := pairs[[2]int{1, 1}]; got != tc.wantNew {
+				t.Errorf("(1,1) reachable = %v, want %v (pairs %v)", got, tc.wantNew, pairs)
+			}
+			if !pairs[[2]int{0, 0}] {
+				t.Errorf("(0,0) unreachable — reader before writer must exist (pairs %v)", pairs)
+			}
+		})
+	}
+}
+
+// TestTSOForwardingAndInvisibility: on every schedule a TSO writer reads its
+// own buffered store back (store-to-load forwarding), while a never-flushed
+// store stays invisible to the other process.
+func TestTSOForwardingAndInvisibility(t *testing.T) {
+	var a *reg.TSOArray[int]
+	s := explore.Session{
+		Make: func() []sched.Proc {
+			a = reg.NewTSOArray[int]("r", 1, 2)
+			return []sched.Proc{
+				func(e *sched.Env) {
+					a.Write(e, 0, 1)
+					if got := a.Read(e, 0); got != 1 {
+						panic("own buffered store not forwarded")
+					}
+					e.Decide(0)
+				},
+				func(e *sched.Env) {
+					if got := a.Read(e, 0); got != 0 {
+						panic("unflushed store visible to another process")
+					}
+					if got := a.Read(e, 0); got != 0 {
+						panic("unflushed store visible to another process")
+					}
+					e.Decide(0)
+				},
+			}
+		},
+		Check: func(res *sched.Result) error { return nil },
+	}
+	if _, err := explore.ExploreSession(s, explore.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTSOFlushFIFOOrder: the store buffer drains in FIFO order — a reader
+// that observes the second store must also observe the first, on every
+// schedule; the partial-drain states are genuinely reachable.
+func TestTSOFlushFIFOOrder(t *testing.T) {
+	seen := make(map[[2]int]bool)
+	var a *reg.TSOArray[int]
+	s := explore.Session{
+		Make: func() []sched.Proc {
+			a = reg.NewTSOArray[int]("r", 2, 2)
+			return []sched.Proc{
+				func(e *sched.Env) {
+					a.Write(e, 0, 1)
+					a.Write(e, 1, 2)
+					a.Flush(e)
+					e.Decide(0)
+				},
+				func(e *sched.Env) {
+					y := a.Read(e, 1)
+					x := a.Read(e, 0)
+					seen[[2]int{y, x}] = true
+					if y == 2 && x == 0 {
+						panic("second store drained before the first")
+					}
+					e.Decide(0)
+				},
+			}
+		},
+		Check: func(res *sched.Result) error { return nil },
+	}
+	if _, err := explore.ExploreSession(s, explore.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][2]int{{0, 0}, {0, 1}, {2, 1}} {
+		if !seen[want] {
+			t.Errorf("drain state (y=%d,x=%d) unreachable (seen %v)", want[0], want[1], seen)
+		}
+	}
+}
+
+// TestBackendStepCounts pins the step encodings: regular writes take three
+// steps (expose/flick/commit), TSO writes one plus one per drained entry,
+// and empty flushes are free on every backend.
+func TestBackendStepCounts(t *testing.T) {
+	cases := []struct {
+		backend reg.Backend
+		steps   int // Write + Read + Flush + Flush(empty) of one cell
+	}{
+		{reg.Atomic, 1 + 1 + 0 + 0},
+		{reg.Regular, 3 + 1 + 0 + 0},
+		{reg.TSO, 1 + 1 + 1 + 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.backend.String(), func(t *testing.T) {
+			a := reg.NewBackendArray[int](tc.backend, "r", 1, 1)
+			body := func(e *sched.Env) {
+				a.Write(e, 0, 7)
+				if got := a.Read(e, 0); got != 7 {
+					panic("own write not visible to own read")
+				}
+				a.Flush(e)
+				a.Flush(e)
+				e.Decide(0)
+			}
+			res, err := sched.Run(sched.Config{}, []sched.Proc{body})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := res.Outcomes[0].Steps; got != tc.steps {
+				t.Fatalf("steps = %d, want %d", got, tc.steps)
+			}
+		})
+	}
+}
+
+// TestAtomicBackendIsThePlainArray: the atomic case of NewBackendArray is
+// the unmodified Array — the foundation of the byte-identical default trees
+// the differential battery asserts.
+func TestAtomicBackendIsThePlainArray(t *testing.T) {
+	a := reg.NewBackendArray[int](reg.Atomic, "r", 2, 3)
+	if _, ok := a.(*reg.Array[int]); !ok {
+		t.Fatalf("atomic backend is a %T, not *reg.Array", a)
+	}
+}
+
+func TestBackendNamesAndCaps(t *testing.T) {
+	names := reg.BackendNames()
+	if len(names) != 3 || names[reg.Atomic] != "atomic" || names[reg.Regular] != "regular" || names[reg.TSO] != "tso" {
+		t.Fatalf("BackendNames = %v", names)
+	}
+	for b, want := range map[reg.Backend]bool{reg.Atomic: true, reg.Regular: false, reg.TSO: false} {
+		if b.SupportsSymmetry() != want {
+			t.Errorf("%v.SupportsSymmetry() = %v, want %v", b, b.SupportsSymmetry(), want)
+		}
+	}
+	if got := reg.Backend(9).String(); got != "Backend(9)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestBackendConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"regular size 0": func() { reg.NewRegularArray[int]("bad", 0) },
+		"tso size 0":     func() { reg.NewTSOArray[int]("bad", 0, 2) },
+		"tso procs 0":    func() { reg.NewTSOArray[int]("bad", 1, 0) },
+		"unknown":        func() { reg.NewBackendArray[int](reg.Backend(9), "bad", 1, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		})
+	}
+}

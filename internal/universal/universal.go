@@ -66,6 +66,17 @@ func New[S, O, R any](name string, ports []sched.ProcID, init S, apply Apply[S, 
 	}
 }
 
+// Fingerprint implements sched.Fingerprinter: the announce board plus every
+// materialized log-slot consensus, in slot order (length-prefixed so the
+// lazily growing sequence cannot alias across states).
+func (u *Universal[S, O, R]) Fingerprint(h *sched.FP) {
+	u.announce.Fingerprint(h)
+	h.Int(len(u.cons))
+	for _, c := range u.cons {
+		c.Fingerprint(h)
+	}
+}
+
 // consAt returns the consensus object deciding log slot k, creating it on
 // first use. Lazy creation is safe: the runtime serializes all steps.
 func (u *Universal[S, O, R]) consAt(k int) *object.XConsensus {
