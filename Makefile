@@ -3,7 +3,7 @@
 #   make docs-check                     (docs/health job)
 GO ?= go
 
-.PHONY: build vet test bench bench-json bench-trend throughput-gate profile explore-smoke sample-smoke spec-conformance symmetry-conformance weakmem-conformance experiments docs-check
+.PHONY: build vet test bench bench-json bench-trend throughput-gate profile explore-smoke sample-smoke service-smoke spec-conformance symmetry-conformance weakmem-conformance experiments docs-check
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,17 @@ sample-smoke: build
 	$(GO) run ./cmd/explore -sample pct -allspecs -samples 2000 -seed 1
 	$(GO) run ./cmd/explore -object bg -n 2 -t 1 -steps 400 -crashes 1 -sample swarm -samples 500 -seed 1
 	$(GO) run ./cmd/explore -object commitadopt -n 3 -crashes 1 -sample walk -samples 2000 -seed 1
+
+# End-to-end service smoke (CI's test job): the exploredd daemon on a
+# loopback ephemeral port driven over HTTP — a violating exhaustive job with
+# its replay artifact, a seeded BG sampling job resolving the spec's declared
+# budgets, an identical resubmission answered from the content-addressed
+# cache (hit counter asserted), cancellation of queued and running jobs, and
+# the typed admission rejections — plus the CLI -json ↔ daemon record-parity
+# battery (byte-identical replay scripts under the sequential engine). See
+# docs/SERVICE.md.
+service-smoke: build
+	$(GO) test -race -count=1 -run TestServiceSmoke ./internal/service ./cmd/exploredd ./cmd/explore
 
 # Docs/health gate (CI's docs job): formatting must be clean, vet must pass,
 # and every relative link in README.md and docs/*.md must resolve.

@@ -74,18 +74,23 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"mpcn/internal/explore"
 	"mpcn/internal/explore/sample"
 	"mpcn/internal/explore/spec"
+	"mpcn/internal/service"
 
 	// Register the built-in scenarios.
 	_ "mpcn/internal/explore/sessions"
@@ -113,6 +118,7 @@ type options struct {
 	depth    int
 	seed     int64
 	allSpecs bool
+	jsonOut  bool
 
 	cpuprofile string
 	memprofile string
@@ -191,6 +197,7 @@ func run(args []string, out io.Writer) int {
 	fs.IntVar(&o.depth, "depth", 0, "PCT depth d: d-1 priority-change points per run (0 = spec/engine default)")
 	fs.Int64Var(&o.seed, "seed", 1, "base seed of the sampled schedule stream")
 	fs.BoolVar(&o.allSpecs, "allspecs", false, "with -sample: sweep every registered spec at its declared defaults and sampling budget")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON result record per grid cell (NDJSON; the exploredd daemon's encoding)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile of the sweep to this file")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -203,7 +210,11 @@ func run(args []string, out io.Writer) int {
 	}
 	defer stopProfiles()
 	if o.list {
-		printList(out)
+		if o.jsonOut {
+			printListJSON(out)
+		} else {
+			printList(out)
+		}
 		return 0
 	}
 	// Only explicitly-set named grid flags enter the parameter grids, so a
@@ -237,7 +248,11 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
 		return 2
 	}
-	if err := dispatch(o, out); err != nil {
+	// Ctrl-C (or SIGTERM) cancels the sweep at the engines' next run
+	// boundary instead of leaving worker pools running to their budgets.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	if err := dispatch(ctx, o, out); err != nil {
 		fmt.Fprintf(os.Stderr, "explore: %v\n", err)
 		var paramErr *spec.ParamError
 		if errors.As(err, &paramErr) {
@@ -258,14 +273,14 @@ func run(args []string, out io.Writer) int {
 }
 
 // dispatch routes between the exhaustive and the sampling sweeps.
-func dispatch(o options, out io.Writer) error {
+func dispatch(ctx context.Context, o options, out io.Writer) error {
 	if o.allSpecs && o.sample == "" {
 		return errors.New("-allspecs needs -sample (exhaustive all-spec sweeps would not terminate)")
 	}
 	if o.sample != "" {
-		return sampleSweep(o, out)
+		return sampleSweep(ctx, o, out)
 	}
-	return sweep(o, out)
+	return sweep(ctx, o, out)
 }
 
 // rejectInapplicableFlags fails loudly on flag combinations one engine would
@@ -274,6 +289,9 @@ func dispatch(o options, out io.Writer) error {
 // spec at its declared defaults). Silent drops would let the user believe a
 // bound or a grid applied when it did not.
 func rejectInapplicableFlags(o options, explicit map[string]bool, haveSets bool) error {
+	if o.jsonOut && o.compare {
+		return errors.New("-compare prints a human-readable comparison; drop it under -json")
+	}
 	if o.sample != "" {
 		for _, name := range []string{"prune", "dedup", "dedupmem", "symmetry", "maxruns", "compare", "respawn"} {
 			if explicit[name] {
@@ -344,6 +362,13 @@ func resolveGrid(s spec.Spec, raw map[string][]string) ([]spec.Params, error) {
 	return spec.Grid(s, grids)
 }
 
+// printListJSON enumerates the registry in the daemon's GET /specs encoding.
+func printListJSON(out io.Writer) {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	enc.Encode(spec.DescribeAll())
+}
+
 // printList enumerates the registry: every spec's doc line, parameter
 // domains (name, default, valid range) and capability flags.
 func printList(out io.Writer) {
@@ -374,7 +399,38 @@ func printList(out io.Writer) {
 	}
 }
 
-func sweep(o options, out io.Writer) error {
+// jsonResult renders one grid cell's outcome in the daemon's Result
+// encoding (NDJSON, one record per line). The record is emitted for
+// violations too — the caller still aborts the sweep afterwards — so
+// scripted consumers see the verdict and replay script on stdout.
+func jsonResult(out io.Writer, j *service.Job, est explore.Stats, sst sample.Stats, err error) error {
+	return json.NewEncoder(out).Encode(service.NewResult(j, est, sst, err))
+}
+
+// exploreJob assembles the service job record of one exhaustive cell, the
+// identity under which -json encodes its result (workers normalized as the
+// daemon does: 1 = sequential engine).
+func exploreJob(s spec.Spec, p spec.Params, o options) *service.Job {
+	workers := o.workers
+	if o.seq {
+		workers = 1
+	}
+	return &service.Job{
+		Spec:   s,
+		Params: p,
+		Engine: service.Engine{
+			Mode:     service.ModeExhaustive,
+			Workers:  workers,
+			MaxRuns:  o.maxRuns,
+			Prune:    o.prune,
+			Dedup:    o.dedup,
+			DedupMem: o.dedupMem,
+			Symmetry: o.symmetry,
+		},
+	}
+}
+
+func sweep(ctx context.Context, o options, out io.Writer) error {
 	s, err := spec.Lookup(o.object)
 	if err != nil {
 		return err
@@ -383,10 +439,12 @@ func sweep(o options, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "exhaustive exploration of %s (prune=%v, workers=%d, maxruns=%d)\n",
-		s.Name(), o.prune, o.workers, o.maxRuns)
-	fmt.Fprintf(out, "%-40s %10s %8s %6s %10s %10s %s\n",
-		"configuration", "runs", "pruned", "depth", "runs/sec", "elapsed", "verdict")
+	if !o.jsonOut {
+		fmt.Fprintf(out, "exhaustive exploration of %s (prune=%v, workers=%d, maxruns=%d)\n",
+			s.Name(), o.prune, o.workers, o.maxRuns)
+		fmt.Fprintf(out, "%-40s %10s %8s %6s %10s %10s %s\n",
+			"configuration", "runs", "pruned", "depth", "runs/sec", "elapsed", "verdict")
+	}
 	for _, p := range cells {
 		cfg, err := spec.Config(s, p, explore.Config{
 			MaxRuns:  o.maxRuns,
@@ -402,12 +460,20 @@ func sweep(o options, out io.Writer) error {
 		}
 		var stats explore.Stats
 		if o.seq {
-			stats, err = explore.ExploreSession(s.New(p), cfg)
+			stats, err = explore.ExploreSessionContext(ctx, s.New(p), cfg)
 		} else {
-			stats, err = explore.ExploreParallel(spec.Factory(s, p), cfg)
+			stats, err = explore.ExploreParallelContext(ctx, spec.Factory(s, p), cfg)
+		}
+		if o.jsonOut {
+			if jerr := jsonResult(out, exploreJob(s, p, o), stats, sample.Stats{}, err); jerr != nil {
+				return jerr
+			}
 		}
 		if err != nil {
 			return fmt.Errorf("spec %q %s: %w", s.Name(), p.Text(s), err)
+		}
+		if o.jsonOut {
+			continue
 		}
 		verdict := "EXHAUSTED"
 		if !stats.Exhausted {
@@ -446,7 +512,7 @@ func sweep(o options, out io.Writer) error {
 // sampleSweep runs the probabilistic engine over the selected spec's grid
 // cells (or, with -allspecs, over every registered spec at its declared
 // defaults and sampling budget).
-func sampleSweep(o options, out io.Writer) error {
+func sampleSweep(ctx context.Context, o options, out io.Writer) error {
 	var specs []spec.Spec
 	if o.allSpecs {
 		specs = spec.All()
@@ -457,10 +523,12 @@ func sampleSweep(o options, out io.Writer) error {
 		}
 		specs = []spec.Spec{s}
 	}
-	fmt.Fprintf(out, "schedule sampling: strategy=%s samples=%d seed=%d workers=%d\n",
-		o.sample, o.samples, o.seed, o.workers)
-	fmt.Fprintf(out, "%-40s %10s %10s %6s %12s %10s %s\n",
-		"configuration", "samples", "distinct", "depth", "samples/sec", "elapsed", "verdict")
+	if !o.jsonOut {
+		fmt.Fprintf(out, "schedule sampling: strategy=%s samples=%d seed=%d workers=%d\n",
+			o.sample, o.samples, o.seed, o.workers)
+		fmt.Fprintf(out, "%-40s %10s %10s %6s %12s %10s %s\n",
+			"configuration", "samples", "distinct", "depth", "samples/sec", "elapsed", "verdict")
+	}
 	for _, s := range specs {
 		grids := o.grids
 		if o.allSpecs {
@@ -495,12 +563,36 @@ func sampleSweep(o options, out io.Writer) error {
 			}
 			var stats sample.Stats
 			if o.seq {
-				stats, err = sample.Run(s.New(p), o.sample, cfg)
+				stats, err = sample.RunContext(ctx, s.New(p), o.sample, cfg)
 			} else {
-				stats, err = sample.RunParallel(spec.Factory(s, p), o.sample, cfg)
+				stats, err = sample.RunParallelContext(ctx, spec.Factory(s, p), o.sample, cfg)
+			}
+			if o.jsonOut {
+				workers := o.workers
+				if o.seq {
+					workers = 1
+				}
+				j := &service.Job{
+					Spec:   s,
+					Params: p,
+					Engine: service.Engine{
+						Mode:     service.ModeSample,
+						Workers:  workers,
+						Strategy: o.sample,
+						Samples:  cfg.Samples,
+						Depth:    cfg.Depth,
+					},
+					Seed: o.seed,
+				}
+				if jerr := jsonResult(out, j, explore.Stats{}, stats, err); jerr != nil {
+					return jerr
+				}
 			}
 			if err != nil {
 				return fmt.Errorf("spec %q %s: %w", s.Name(), p.Text(s), err)
+			}
+			if o.jsonOut {
+				continue
 			}
 			label := fmt.Sprintf("%s %s", s.Name(), p.Text(s))
 			fmt.Fprintf(out, "%-40s %10d %10d %6d %12.0f %10s SAMPLED\n",

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"strings"
@@ -98,7 +99,7 @@ func TestUnknownSpecErrorListsAvailable(t *testing.T) {
 // TestDedupOnFingerprintlessSpecRejected: -dedup against the BG spec (no
 // fingerprint) fails up front with the spec-tagged ErrNoFingerprint.
 func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
-	err := sweep(options{object: "bg", grids: map[string][]string{}, dedup: true, maxRuns: 10}, io.Discard)
+	err := sweep(context.Background(), options{object: "bg", grids: map[string][]string{}, dedup: true, maxRuns: 10}, io.Discard)
 	if err == nil {
 		t.Fatal("dedup accepted on a fingerprint-less spec")
 	}
@@ -117,7 +118,7 @@ func TestDedupOnFingerprintlessSpecRejected(t *testing.T) {
 // ErrNoSymmetry — the same loud-rejection pattern as -dedup on a
 // fingerprint-less spec.
 func TestSymmetryOnNonCapableSpecRejected(t *testing.T) {
-	err := sweep(options{object: "safe", grids: map[string][]string{}, dedup: true, symmetry: true, maxRuns: 10}, io.Discard)
+	err := sweep(context.Background(), options{object: "safe", grids: map[string][]string{}, dedup: true, symmetry: true, maxRuns: 10}, io.Discard)
 	if err == nil {
 		t.Fatal("symmetry accepted on a non-capable spec")
 	}
@@ -136,7 +137,7 @@ func TestSymmetryOnNonCapableSpecRejected(t *testing.T) {
 // visited store, so -symmetry without -dedup is rejected even on capable
 // specs.
 func TestSymmetryWithoutDedupRejected(t *testing.T) {
-	err := sweep(options{object: "commitadopt", grids: map[string][]string{}, symmetry: true, maxRuns: 10}, io.Discard)
+	err := sweep(context.Background(), options{object: "commitadopt", grids: map[string][]string{}, symmetry: true, maxRuns: 10}, io.Discard)
 	if !errors.Is(err, explore.ErrSymmetryNeedsDedup) {
 		t.Fatalf("err = %v, want ErrSymmetryNeedsDedup", err)
 	}

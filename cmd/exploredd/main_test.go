@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mpcn/internal/explore/spec"
+	"mpcn/internal/service"
+)
+
+// TestServiceSmokeDaemon: the real daemon end to end — bind an ephemeral
+// port, scrape the printed address, drive an exhaustive and a seeded
+// sampling job to their verdicts over the wire, resubmit for a cache hit,
+// then shut down on SIGINT.
+func TestServiceSmokeDaemon(t *testing.T) {
+	pr, pw := io.Pipe()
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0"}, pw, os.Stderr)
+	}()
+	line, err := bufio.NewReader(pr).ReadString('\n')
+	if err != nil {
+		t.Fatalf("daemon banner: %v", err)
+	}
+	at := strings.Index(line, "http://")
+	if at < 0 {
+		t.Fatalf("banner %q names no address", line)
+	}
+	base := strings.TrimSpace(line[at:])
+
+	getJSON := func(path string, v any) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	post := func(body string) service.JobStatus {
+		t.Helper()
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d: %s", resp.StatusCode, buf.String())
+		}
+		var st service.JobStatus
+		if err := json.Unmarshal(buf.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	poll := func(id string) service.JobStatus {
+		t.Helper()
+		deadline := time.Now().Add(60 * time.Second)
+		for time.Now().Before(deadline) {
+			var st service.JobStatus
+			getJSON("/jobs/"+id, &st)
+			if st.Result != nil {
+				return st
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("job %s never finished", id)
+		return service.JobStatus{}
+	}
+
+	var infos []spec.Info
+	getJSON("/specs", &infos)
+	if len(infos) != len(spec.All()) {
+		t.Fatalf("/specs served %d specs, registry holds %d", len(infos), len(spec.All()))
+	}
+
+	// An exhaustive commit-adopt job proves its whole tree.
+	ca := poll(post(`{"spec": "commitadopt", "params": {"crashes": "1"}, "engine": {"workers": 2}}`).ID)
+	if ca.Result.Verdict != service.VerdictExhausted || !ca.Result.Explore.Exhausted {
+		t.Fatalf("commitadopt verdict: %+v", ca.Result)
+	}
+
+	// A seeded BG sampling job resolves the spec's declared budgets.
+	bgBody := `{"spec": "bg", "engine": {"mode": "sample", "strategy": "pct", "workers": 2}, "seed": 7}`
+	bg := poll(post(bgBody).ID)
+	if bg.Result.Verdict != service.VerdictSampled || bg.Cached {
+		t.Fatalf("bg verdict: cached=%v %+v", bg.Cached, bg.Result)
+	}
+	if e := bg.Result.Engine; e.Samples != 1500 || e.Depth != 8 || e.Strategy != "pct" {
+		t.Fatalf("bg resolved engine: %+v", e)
+	}
+
+	// The identical resubmission is answered from the cache, record verbatim.
+	re := poll(post(bgBody).ID)
+	if !re.Cached {
+		t.Fatal("identical resubmission re-ran the engine")
+	}
+	a, _ := json.Marshal(re.Result)
+	b, _ := json.Marshal(bg.Result)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("cached record diverges:\n%s\n%s", a, b)
+	}
+	var stats service.StatsRecord
+	getJSON("/stats", &stats)
+	if stats.Cache.Hits < 1 {
+		t.Fatalf("cache counters: %+v", stats.Cache)
+	}
+
+	// SIGINT drains the daemon; run returns cleanly.
+	syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("daemon exit code %d", code)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not shut down on SIGINT")
+	}
+}

@@ -36,6 +36,7 @@
 package explore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -111,6 +112,29 @@ type Config struct {
 	// the knob exists for differential testing and for measuring what
 	// batching buys. Off by default (batching on).
 	NoBatch bool
+	// Progress, when non-nil, is updated live while the exploration runs:
+	// the walkers add every completed run and pruned alternative, and the
+	// visited-state store (under Dedup) is attached for counter snapshots.
+	// Long-running drivers (the exploredd daemon) poll Progress.Snapshot to
+	// stream per-job progress without perturbing the walkers.
+	Progress *Progress
+	// Runtime, when non-nil, supplies and reclaims the walkers' sched
+	// runtimes instead of NewSessionWith/Close, letting long-running drivers
+	// lease warm sessions across explorations (goroutines stay parked
+	// between jobs) rather than respawning them per exploration. Ignored
+	// under Respawn, whose whole point is the spawn-per-run baseline.
+	Runtime RuntimeSource
+}
+
+// RuntimeSource supplies the sched runtimes walkers replay on. Acquire is
+// called with the harness's process count and the protocol the walker needs
+// (direct coroutines, or the channel-based inline protocol for ForeignStep
+// harnesses); Release returns a runtime the walker is done with. Sources are
+// called from concurrent workers and must be safe for concurrent use; they
+// should discard sessions that report !Healthy().
+type RuntimeSource interface {
+	Acquire(n int, direct bool) (*sched.Session, error)
+	Release(rt *sched.Session)
 }
 
 // withDefaults normalizes the zero-valued fields.
@@ -696,12 +720,28 @@ func (w *walker) stopped() bool {
 	}
 }
 
-// close releases the walker's runtime goroutines.
+// close releases the walker's runtime goroutines — back to the configured
+// RuntimeSource (which may keep the session warm for the next job), or for
+// good.
 func (w *walker) close() {
-	if w.rt != nil {
-		w.rt.Close()
-		w.rt = nil
+	if w.rt == nil {
+		return
 	}
+	if w.cfg.Runtime != nil {
+		w.cfg.Runtime.Release(w.rt)
+	} else {
+		w.rt.Close()
+	}
+	w.rt = nil
+}
+
+// acquire obtains a runtime for n processes on the given protocol, from the
+// configured RuntimeSource when one is set.
+func (w *walker) acquire(n int, direct bool) (*sched.Session, error) {
+	if w.cfg.Runtime != nil {
+		return w.cfg.Runtime.Acquire(n, direct)
+	}
+	return sched.NewSessionWith(n, sched.SessionOptions{Direct: direct})
 }
 
 // replay executes one run with the given decision prefix. Under dedup, only
@@ -740,7 +780,7 @@ func (w *walker) replay(prefix []int, cached bool) (*scripted, *sched.Result, er
 		adv.reset(prefix, cached)
 		if w.rt == nil || w.rt.N() != len(bodies) {
 			w.close()
-			w.rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Direct: direct})
+			w.rt, err = w.acquire(len(bodies), direct)
 		}
 		if err == nil {
 			res, err = w.rt.Run(sched.Config{Adversary: adv, MaxSteps: w.cfg.MaxSteps, Observe: w.store != nil}, bodies)
@@ -779,9 +819,12 @@ func (w *walker) explore(prefix []int) (subtreeStats, error) {
 		if d := len(adv.taken); d > st.maxDepth {
 			st.maxDepth = d
 		}
+		pruned := 0
 		for d := newFrom; d < len(adv.prunedAt); d++ {
-			st.pruned += adv.prunedAt[d]
+			pruned += adv.prunedAt[d]
 		}
+		st.pruned += pruned
+		w.cfg.Progress.add(1, int64(pruned))
 		if cerr := w.session.Check(res); cerr != nil {
 			return st, &PropertyError{Script: scriptOf(adv), Err: cerr}
 		}
@@ -841,6 +884,14 @@ func Explore(mk func() []sched.Proc, check func(*sched.Result) error, cfg Config
 // ExploreSession is Explore over a prebuilt Session, the entry point for
 // harnesses that carry a Fingerprint for Config.Dedup.
 func ExploreSession(s Session, cfg Config) (Stats, error) {
+	return ExploreSessionContext(context.Background(), s, cfg)
+}
+
+// ExploreSessionContext is ExploreSession under a context: cancelling ctx
+// stops the walk at the next run boundary (a single run is bounded by
+// MaxSteps, so cancellation is prompt) and the exploration returns ctx's
+// error with Stats covering the work done so far, Exhausted false.
+func ExploreSessionContext(ctx context.Context, s Session, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
 	if err := checkSymmetry(s, cfg); err != nil {
@@ -852,15 +903,20 @@ func ExploreSession(s Session, cfg Config) (Stats, error) {
 			return Stats{}, ErrNoFingerprint
 		}
 		store = newDedupStore(cfg.DedupMem, cfg.DedupShards)
+		cfg.Progress.attach(store)
 	}
 	w := &walker{
 		cfg:     cfg,
 		session: s,
 		budget:  newRunBudget(cfg.MaxRuns),
+		stop:    ctx.Done(),
 		store:   store,
 	}
 	defer w.close()
 	st, err := w.explore(nil)
+	if err == nil {
+		err = ctx.Err()
+	}
 	stats := Stats{
 		Runs:      st.runs,
 		MaxDepth:  st.maxDepth,

@@ -7,6 +7,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -34,6 +35,15 @@ const (
 // timing-dependent (bounded by the tree walk's; the verdict still matches).
 // A checker panic in any worker is re-raised on the caller's goroutine.
 func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
+	return ExploreParallelContext(context.Background(), newSession, cfg)
+}
+
+// ExploreParallelContext is ExploreParallel under a context: cancelling ctx
+// halts the frontier pass and every worker at its next run boundary, and the
+// exploration returns ctx's error with Stats covering the work done so far,
+// Exhausted false. This is what lets a long-running driver (the exploredd
+// daemon, a Ctrl-C'd CLI sweep) kill a job without waiting for its budget.
+func ExploreParallelContext(ctx context.Context, newSession func() Session, cfg Config) (Stats, error) {
 	if newSession == nil {
 		panic("explore: ExploreParallel needs a session factory")
 	}
@@ -56,13 +66,17 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 			return Stats{}, ErrNoFingerprint
 		}
 		store = newDedupStore(cfg.DedupMem, cfg.DedupShards)
+		cfg.Progress.attach(store)
 	}
 
 	// Phase 1: enumerate a frontier of disjoint subtree prefixes, counting
 	// (and checking) any complete runs shallower than the frontier.
-	probe := &walker{cfg: cfg, session: probeSession, budget: budget}
+	probe := &walker{cfg: cfg, session: probeSession, budget: budget, stop: ctx.Done()}
 	defer probe.close()
 	frontier, base, err := buildFrontier(probe, cfg.Workers*frontierPerWorker)
+	if err == nil {
+		err = ctx.Err()
+	}
 	if err != nil || base.aborted || len(frontier) == 0 {
 		return Stats{
 			Runs:      base.runs,
@@ -96,6 +110,20 @@ func ExploreParallel(newSession func() Session, cfg Config) (Stats, error) {
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Relay ctx cancellation into the pool's halt signal; the relay exits
+	// when the workers drain (watchDone) so it never leaks.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				halt()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for k := 0; k < nw; k++ {
@@ -160,6 +188,11 @@ feed:
 			panic(fmt.Sprintf("explore: checker panicked in worker %d: %v", k, o.panicked))
 		}
 	}
+	if firstErr == nil {
+		// A worker's violation outranks the cancellation that may have raced
+		// with it; a clean halt with a cancelled ctx reports the cancellation.
+		firstErr = ctx.Err()
+	}
 	stats := Stats{
 		Runs:      st.runs,
 		MaxDepth:  st.maxDepth,
@@ -185,6 +218,10 @@ func buildFrontier(w *walker, target int) ([][]int, subtreeStats, error) {
 	queue := [][]int{nil}
 	expansions := 0
 	for len(queue) > 0 && len(queue) < target && expansions < frontierMaxNodes {
+		if w.stopped() {
+			st.aborted = true
+			return nil, st, nil
+		}
 		p := queue[0]
 		queue = queue[1:]
 		adv, res, err := w.replay(p, false)
@@ -199,6 +236,7 @@ func buildFrontier(w *walker, target int) ([][]int, subtreeStats, error) {
 				return nil, st, nil
 			}
 			st.runs++
+			w.cfg.Progress.add(1, 0)
 			if d := len(adv.taken); d > st.maxDepth {
 				st.maxDepth = d
 			}
@@ -210,6 +248,7 @@ func buildFrontier(w *walker, target int) ([][]int, subtreeStats, error) {
 		// Internal node: attribute its pruned alternatives once, enqueue its
 		// children in sibling order.
 		st.pruned += adv.prunedAt[len(p)]
+		w.cfg.Progress.add(0, int64(adv.prunedAt[len(p)]))
 		for i := 0; i < adv.altCounts[len(p)]; i++ {
 			child := append(append(make([]int, 0, len(p)+1), p...), i)
 			queue = append(queue, child)

@@ -1,0 +1,66 @@
+// Progress: the live counter surface of a running exploration. The walkers
+// publish into atomic counters (one add per completed run — negligible next
+// to the replay itself) and the visited-state store's own atomic counters
+// are snapshotted on demand, so a concurrent observer (the exploredd
+// daemon's NDJSON progress stream) can poll a running job without locks and
+// without perturbing the hot path.
+
+package explore
+
+import "sync/atomic"
+
+// Progress receives live counters from a running exploration via
+// Config.Progress. The zero value is ready to use; one Progress must not be
+// shared by concurrent explorations (their counters would blend).
+type Progress struct {
+	runs   atomic.Int64
+	pruned atomic.Int64
+	store  atomic.Pointer[dedupStore]
+}
+
+// ProgressSnapshot is one observation of a running exploration.
+type ProgressSnapshot struct {
+	// Runs is the number of complete runs executed so far.
+	Runs int64 `json:"runs"`
+	// Pruned is the number of decision alternatives dropped by reduction so
+	// far.
+	Pruned int64 `json:"pruned"`
+	// Dedup snapshots the visited-state store counters (zero unless the
+	// exploration runs with Config.Dedup).
+	Dedup DedupStats `json:"dedup"`
+}
+
+// add publishes completed runs and pruned alternatives; nil-safe so the
+// walkers call it unconditionally.
+func (p *Progress) add(runs, pruned int64) {
+	if p == nil {
+		return
+	}
+	if runs != 0 {
+		p.runs.Add(runs)
+	}
+	if pruned != 0 {
+		p.pruned.Add(pruned)
+	}
+}
+
+// attach exposes the exploration's visited-state store for snapshots.
+func (p *Progress) attach(st *dedupStore) {
+	if p == nil || st == nil {
+		return
+	}
+	p.store.Store(st)
+}
+
+// Snapshot returns the current counters. Safe to call concurrently with the
+// exploration (and on a nil Progress, which reports zeros).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{Runs: p.runs.Load(), Pruned: p.pruned.Load()}
+	if st := p.store.Load(); st != nil {
+		s.Dedup = st.snapshot()
+	}
+	return s
+}

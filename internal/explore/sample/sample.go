@@ -39,6 +39,7 @@
 package sample
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -93,6 +94,15 @@ type Config struct {
 	// from the worker goroutines; callers synchronize. Rendering scripts
 	// allocates, so leave it nil on throughput-sensitive runs.
 	OnSample func(sample int, script []string)
+	// Progress, when non-nil, is updated live while the job runs: workers
+	// add every completed sample and the coverage store (under Coverage) is
+	// attached for counter snapshots — the surface the exploredd daemon's
+	// progress stream polls.
+	Progress *Progress
+	// Runtime, when non-nil, supplies and reclaims the workers' sched
+	// runtimes instead of NewSessionWith/Close, letting long-running drivers
+	// lease warm sessions across jobs.
+	Runtime explore.RuntimeSource
 }
 
 func (c Config) withDefaults() Config {
@@ -290,10 +300,28 @@ type worker struct {
 }
 
 func (w *worker) close() {
-	if w.rt != nil {
-		w.rt.Close()
-		w.rt = nil
+	if w.rt == nil {
+		return
 	}
+	if w.cfg.Runtime != nil {
+		w.cfg.Runtime.Release(w.rt)
+	} else {
+		w.rt.Close()
+	}
+	w.rt = nil
+}
+
+// acquire obtains a runtime for n processes, from the configured
+// RuntimeSource when one is set. Sampling strategies decide step by step (no
+// batched grants), but the direct protocol's cheap token handoff pays off
+// all the same; bodies stepping from helper goroutines need the
+// channel-based protocol.
+func (w *worker) acquire(n int) (*sched.Session, error) {
+	direct := !w.session.ForeignStep
+	if w.cfg.Runtime != nil {
+		return w.cfg.Runtime.Acquire(n, direct)
+	}
+	return sched.NewSessionWith(n, sched.SessionOptions{Direct: direct})
 }
 
 // sampleOne draws, executes and checks sample index i. The run's pooled
@@ -308,10 +336,7 @@ func (w *worker) sampleOne(i int) error {
 	var err error
 	if w.rt == nil || w.rt.N() != len(bodies) {
 		w.close()
-		// Sampling strategies decide step by step (no batched grants), but the
-		// direct protocol's cheap token handoff pays off all the same; bodies
-		// stepping from helper goroutines need the channel-based protocol.
-		w.rt, err = sched.NewSessionWith(len(bodies), sched.SessionOptions{Direct: !w.session.ForeignStep})
+		w.rt, err = w.acquire(len(bodies))
 		if err != nil {
 			return fmt.Errorf("%w: %v", explore.ErrRunFailed, err)
 		}
@@ -326,6 +351,7 @@ func (w *worker) sampleOne(i int) error {
 		return fmt.Errorf("%w: %v (sample %d, schedule %v)", explore.ErrRunFailed, err, i, w.adv.script())
 	}
 	w.samples++
+	w.cfg.Progress.add(1)
 	w.lastRes = res
 	if d := len(w.adv.choices); d > w.maxDepth {
 		w.maxDepth = d
@@ -447,17 +473,28 @@ func finish(cfg Config, name string, samples, maxDepth, n int, start time.Time, 
 // (returned as an explore.PropertyError wrapping a SampleError) or runtime
 // failure; a clean return means every drawn run passed the checker.
 func RunWith(s explore.Session, mk func() Sampler, cfg Config) (Stats, error) {
+	return RunWithContext(context.Background(), s, mk, cfg)
+}
+
+// RunWithContext is RunWith under a context: cancelling ctx stops the draw at
+// the next sample boundary and returns ctx's error with the Stats accumulated
+// so far.
+func RunWithContext(ctx context.Context, s explore.Session, mk func() Sampler, cfg Config) (Stats, error) {
 	cfg = cfg.withDefaults()
 	if err := validate(cfg); err != nil {
 		return Stats{}, err
 	}
 	start := time.Now()
 	store := newStore(cfg)
+	cfg.Progress.attach(store)
 	cps := newCheckpoints(cfg, store)
 	w := &worker{cfg: cfg, session: s, strategy: mk(), store: store}
 	defer w.close()
 	var err error
 	for i := 0; i < cfg.Samples; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
 		if err = w.sampleOne(i); err != nil {
 			break
 		}
@@ -468,11 +505,16 @@ func RunWith(s explore.Session, mk func() Sampler, cfg Config) (Stats, error) {
 
 // Run is RunWith over a built-in strategy name ("walk", "pct", "swarm").
 func Run(s explore.Session, strategy string, cfg Config) (Stats, error) {
+	return RunContext(context.Background(), s, strategy, cfg)
+}
+
+// RunContext is Run under a context (see RunWithContext).
+func RunContext(ctx context.Context, s explore.Session, strategy string, cfg Config) (Stats, error) {
 	mk, err := factory(strategy, cfg.Depth)
 	if err != nil {
 		return Stats{}, err
 	}
-	return RunWith(s, mk, cfg)
+	return RunWithContext(ctx, s, mk, cfg)
 }
 
 // factory validates the strategy name once and returns a per-worker
@@ -500,6 +542,14 @@ func factory(strategy string, depth int) (func() Sampler, error) {
 // state. A checker panic in any worker is re-raised on the caller's
 // goroutine.
 func RunParallelWith(newSession func() explore.Session, mk func() Sampler, cfg Config) (Stats, error) {
+	return RunParallelWithContext(context.Background(), newSession, mk, cfg)
+}
+
+// RunParallelWithContext is RunParallelWith under a context: cancelling ctx
+// halts every worker at its next sample boundary and the run returns ctx's
+// error (a violation a worker found before the halt outranks it) with the
+// Stats accumulated so far.
+func RunParallelWithContext(ctx context.Context, newSession func() explore.Session, mk func() Sampler, cfg Config) (Stats, error) {
 	if newSession == nil {
 		panic("sample: RunParallelWith needs a session factory")
 	}
@@ -509,6 +559,7 @@ func RunParallelWith(newSession func() explore.Session, mk func() Sampler, cfg C
 	}
 	start := time.Now()
 	store := newStore(cfg)
+	cfg.Progress.attach(store)
 	cps := newCheckpoints(cfg, store)
 
 	nw := cfg.Workers
@@ -519,6 +570,20 @@ func RunParallelWith(newSession func() explore.Session, mk func() Sampler, cfg C
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Relay ctx cancellation into the pool's halt signal; the relay exits
+	// when the workers drain (watchDone) so it never leaks.
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				halt()
+			case <-watchDone:
+			}
+		}()
+	}
 
 	type workerOut struct {
 		ws       WorkerStats
@@ -593,6 +658,11 @@ func RunParallelWith(newSession func() explore.Session, mk func() Sampler, cfg C
 			firstErr, firstAt = o.err, o.errAt
 		}
 	}
+	if firstErr == nil {
+		// A worker's violation outranks the cancellation that may have raced
+		// with it; a clean halt with a cancelled ctx reports the cancellation.
+		firstErr = ctx.Err()
+	}
 	st := finish(cfg, mk().Name(), samples, maxDepth, n, start, store, cps)
 	st.Workers = workers
 	return st, firstErr
@@ -600,11 +670,17 @@ func RunParallelWith(newSession func() explore.Session, mk func() Sampler, cfg C
 
 // RunParallel is RunParallelWith over a built-in strategy name.
 func RunParallel(newSession func() explore.Session, strategy string, cfg Config) (Stats, error) {
+	return RunParallelContext(context.Background(), newSession, strategy, cfg)
+}
+
+// RunParallelContext is RunParallel under a context (see
+// RunParallelWithContext).
+func RunParallelContext(ctx context.Context, newSession func() explore.Session, strategy string, cfg Config) (Stats, error) {
 	mk, err := factory(strategy, cfg.Depth)
 	if err != nil {
 		return Stats{}, err
 	}
-	return RunParallelWith(newSession, mk, cfg)
+	return RunParallelWithContext(ctx, newSession, mk, cfg)
 }
 
 // Replay re-executes sample index of the (strategy, cfg) stream and returns
@@ -617,6 +693,7 @@ func Replay(s explore.Session, strategy string, cfg Config, index int) ([]string
 	cfg = cfg.withDefaults()
 	cfg.Coverage = false
 	cfg.OnSample = nil
+	cfg.Progress = nil
 	if index < 0 {
 		return nil, nil, fmt.Errorf("sample: negative replay index %d", index)
 	}

@@ -284,6 +284,12 @@ func (s *Session) centralRunBody(e *Env, body Proc) {
 	body(e)
 }
 
+// Healthy reports whether the session can still run: it is neither closed
+// nor broken by a runtime invariant violation. Session pools (the exploredd
+// daemon's warm-lease source) use it to decide between reusing a returned
+// session and discarding it.
+func (s *Session) Healthy() bool { return !s.closed && !s.broken }
+
 // Close terminates the session's goroutines. It is idempotent. Close must
 // not be called while a Run is in progress.
 func (s *Session) Close() {

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestQueueFIFO: jobs pop in submission order.
+func TestQueueFIFO(t *testing.T) {
+	q := newQueue(4)
+	j, err := Prepare(Request{Spec: "commitadopt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pushed []*jobState
+	for i := 0; i < 3; i++ {
+		js := newJobState("job", "test", j)
+		pushed = append(pushed, js)
+		if err := q.push(js); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d", q.depth())
+	}
+	for i, want := range pushed {
+		if got := <-q.ch; got != want {
+			t.Fatalf("pop %d out of order", i)
+		}
+	}
+}
+
+// TestQueueFullRejects: a full queue bounces with the typed error instead of
+// blocking the submitter.
+func TestQueueFullRejects(t *testing.T) {
+	q := newQueue(2)
+	j, err := Prepare(Request{Spec: "commitadopt"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := q.push(newJobState("job", "test", j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.push(newJobState("job", "test", j)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+// TestRateLimiter: the token bucket under an injected clock — burst spends,
+// refill restores, clients are independent, rate 0 disables.
+func TestRateLimiter(t *testing.T) {
+	l := NewRateLimiter(1, 2)
+	now := time.Unix(1000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("burst token %d denied", i)
+		}
+	}
+	ok, wait := l.Allow("a")
+	if ok {
+		t.Fatal("empty bucket allowed")
+	}
+	if wait <= 0 || wait > time.Second {
+		t.Fatalf("refill wait = %v", wait)
+	}
+
+	// A different client holds its own bucket.
+	if ok, _ := l.Allow("b"); !ok {
+		t.Fatal("fresh client denied")
+	}
+
+	// One refill period restores exactly one token.
+	now = now.Add(time.Second)
+	if ok, _ := l.Allow("a"); !ok {
+		t.Fatal("refilled token denied")
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("second token granted after a one-token refill")
+	}
+
+	// Refill saturates at the burst.
+	now = now.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("a"); !ok {
+			t.Fatalf("post-saturation token %d denied", i)
+		}
+	}
+	if ok, _ := l.Allow("a"); ok {
+		t.Fatal("refill exceeded the burst")
+	}
+
+	// rate <= 0 disables limiting; a nil limiter allows too.
+	open := NewRateLimiter(0, 1)
+	for i := 0; i < 10; i++ {
+		if ok, _ := open.Allow("a"); !ok {
+			t.Fatal("disabled limiter denied")
+		}
+	}
+	var none *RateLimiter
+	if ok, _ := none.Allow("a"); !ok {
+		t.Fatal("nil limiter denied")
+	}
+}
